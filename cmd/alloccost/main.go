@@ -1,0 +1,97 @@
+// Command alloccost prints the synthesis-model results behind Figs. 5, 6,
+// 10 and 11 of Becker & Dally (SC '09): critical-path delay, cell area and
+// dynamic power for every allocator variant at every design point.
+//
+// Usage:
+//
+//	alloccost -unit vc       # VC allocators (Figs. 5 and 6)
+//	alloccost -unit sw       # switch allocators (Figs. 10 and 11)
+//	alloccost -summary       # headline savings (§4.3.1, §5.3.1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/costmodel"
+	"repro/internal/experiments"
+)
+
+func main() {
+	unit := flag.String("unit", "vc", "allocator unit: vc or sw")
+	summary := flag.Bool("summary", false, "print headline savings instead of full tables")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	verbose := flag.Bool("verbose", false, "include per-component gate breakdowns (vc unit only)")
+	flag.Parse()
+
+	tech := costmodel.Default45nm()
+	if *summary {
+		d, a, p := experiments.SparseSavings(tech)
+		fmt.Printf("sparse VC allocation max savings: delay %.0f%%, area %.0f%%, power %.0f%% (paper: 41/90/83)\n",
+			d*100, a*100, p*100)
+		s, row := experiments.PessimisticDelaySaving(tech)
+		fmt.Printf("pessimistic speculation max delay saving: %.0f%% at %s (paper: up to 23%%)\n", s*100, row)
+		return
+	}
+
+	if *asJSON {
+		var rep experiments.Report
+		switch *unit {
+		case "vc":
+			rep = experiments.VCCostReport(tech)
+		case "sw":
+			rep = experiments.SwitchCostReport(tech)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown unit %q (want vc or sw)\n", *unit)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	switch *unit {
+	case "vc":
+		fmt.Fprintln(w, "design point\tvariant\tscheme\tdelay (ns)\tarea (µm²)\tpower (mW)")
+		for _, r := range experiments.VCCost(tech) {
+			scheme := "dense"
+			if r.Sparse {
+				scheme = "sparse"
+			}
+			if !r.Est.Synthesized {
+				fmt.Fprintf(w, "%s\t%s\t%s\tsynthesis failed (out of memory)\t\t\n", r.Point, r.Variant, scheme)
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%.3f\t%.0f\t%.2f\n",
+				r.Point, r.Variant, scheme, r.Est.DelayNS, r.Est.AreaUM2, r.Est.PowerMW)
+			if *verbose {
+				for _, c := range r.Est.Components {
+					mark := " "
+					if c.OnCriticalPath {
+						mark = "*"
+					}
+					fmt.Fprintf(w, "\t%s %s\t\t\t%.0f GE\t\n", mark, c.Name, c.GE)
+				}
+			}
+		}
+	case "sw":
+		fmt.Fprintln(w, "design point\tvariant\tspeculation\tdelay (ns)\tarea (µm²)\tpower (mW)")
+		for _, r := range experiments.SwitchCost(tech) {
+			if !r.Est.Synthesized {
+				fmt.Fprintf(w, "%s\t%s\t%s\tsynthesis failed\t\t\n", r.Point, r.Variant, r.Mode)
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%.3f\t%.0f\t%.2f\n",
+				r.Point, r.Variant, r.Mode, r.Est.DelayNS, r.Est.AreaUM2, r.Est.PowerMW)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown unit %q (want vc or sw)\n", *unit)
+		os.Exit(1)
+	}
+	w.Flush()
+}

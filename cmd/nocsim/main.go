@@ -1,0 +1,93 @@
+// Command nocsim runs the cycle-accurate network simulations behind Figs.
+// 13 and 14 of Becker & Dally (SC '09): average packet latency versus flit
+// injection rate on the 8×8 mesh and the 4×4 flattened butterfly under
+// uniform-random request–reply traffic.
+//
+// Usage:
+//
+//	nocsim -exp fig13 -topo fbfly -c 4       # switch allocator comparison
+//	nocsim -exp fig14 -topo mesh -c 1        # speculation scheme comparison
+//	nocsim -exp vasweep -topo mesh -c 2      # VC allocator (in)sensitivity
+//
+// Latency entries marked with '*' did not drain within the drain budget
+// (the offered load exceeds saturation throughput).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/alloc"
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "fig13", "experiment: fig13, fig14, vasweep, patterns or saturation")
+	topo := flag.String("topo", "mesh", "design point topology: mesh or fbfly")
+	c := flag.Int("c", 1, "VCs per class (1, 2 or 4)")
+	warmup := flag.Int("warmup", 3000, "warmup cycles")
+	measure := flag.Int("measure", 6000, "measurement cycles")
+	drain := flag.Int("drain", 20000, "drain cycle budget")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	workers := flag.Int("workers", 4, "concurrent simulations per curve")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	flag.Parse()
+
+	pt, err := experiments.PointByName(*topo, *c)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	scale := experiments.SimScale{Warmup: *warmup, Measure: *measure, Drain: *drain, Seed: *seed, Workers: *workers}
+	rates := experiments.InjectionRates(pt)
+
+	header := func(format string, args ...any) {
+		if !*asJSON {
+			fmt.Printf(format, args...)
+		}
+	}
+	var series []experiments.NetSeries
+	switch *exp {
+	case "fig13":
+		header("switch allocator performance (Fig. 13), %s, uniform request-reply traffic\n", pt)
+		series = experiments.Fig13(pt, rates, scale)
+	case "fig14":
+		header("speculative switch allocation (Fig. 14), %s, sep_if switch allocator\n", pt)
+		series = experiments.Fig14(pt, rates, scale)
+	case "vasweep":
+		header("VC allocator sensitivity (§4.3.3), %s\n", pt)
+		series = experiments.VASweep(pt, rates, scale)
+	case "patterns":
+		header("traffic pattern sweep (§3.2), %s at rate %.2f\n", pt, rates[len(rates)/2])
+		var err error
+		series, err = experiments.PatternSweep(pt, rates[len(rates)/2], scale,
+			[]string{"uniform", "transpose", "bitcomp", "bitrev", "shuffle", "tornado", "neighbor"})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "saturation":
+		fmt.Printf("saturation throughput summary (paper conclusions), %s\n", pt)
+		for _, arch := range []alloc.Arch{alloc.SepIF, alloc.SepOF, alloc.Wavefront} {
+			sat := experiments.SaturationThroughput(pt, arch, scale)
+			fmt.Printf("  %-8s %.3f flits/cycle/terminal\n", arch, sat)
+		}
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+	if *asJSON {
+		if err := experiments.NetworkReport(*exp, pt, series).WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(experiments.FormatNetSeries(series))
+	fmt.Println()
+	for _, s := range series {
+		fmt.Printf("%s: saturation throughput ~%.3f flits/cycle/terminal\n", s.Name, s.SaturationRate())
+	}
+}

@@ -1,0 +1,54 @@
+// Command sweep regenerates the saturation-throughput summary table of
+// EXPERIMENTS.md: for every design point, the accepted throughput each
+// switch allocator architecture sustains (the paper's conclusions quote
+// wavefront's +15% / +21% over sep_if on the flattened butterfly with 8 /
+// 16 VCs).
+//
+// Usage:
+//
+//	sweep                      # all six design points (several minutes)
+//	sweep -topo fbfly          # one topology
+//	sweep -quick               # shorter simulations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/alloc"
+	"repro/internal/experiments"
+)
+
+func main() {
+	topo := flag.String("topo", "", "restrict to one topology: mesh or fbfly")
+	quick := flag.Bool("quick", false, "shorter simulations")
+	seed := flag.Uint64("seed", 9, "simulation seed")
+	flag.Parse()
+
+	scale := experiments.SimScale{Warmup: 2000, Measure: 4000, Drain: 4000, Seed: *seed}
+	if *quick {
+		scale = experiments.SimScale{Warmup: 500, Measure: 1200, Drain: 1500, Seed: *seed}
+	}
+
+	archs := []alloc.Arch{alloc.SepIF, alloc.SepOF, alloc.Wavefront}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "design point\tsep_if\tsep_of\twf\twf vs sep_if")
+	for _, pt := range experiments.Points() {
+		if *topo != "" && pt.Topo != *topo {
+			continue
+		}
+		sats := map[alloc.Arch]float64{}
+		for _, arch := range archs {
+			sats[arch] = experiments.SaturationThroughput(pt, arch, scale)
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%+.1f%%\n",
+			pt, sats[alloc.SepIF], sats[alloc.SepOF], sats[alloc.Wavefront],
+			100*(sats[alloc.Wavefront]/sats[alloc.SepIF]-1))
+		w.Flush()
+	}
+	fmt.Println("\npaper conclusions: wf ≈ sep_if on the mesh with few VCs; +15% at")
+	fmt.Println("fbfly 2x2x2 and +21% at fbfly 2x2x4 (this model reproduces the")
+	fmt.Println("ordering and growth with roughly half the peak magnitude).")
+}

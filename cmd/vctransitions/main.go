@@ -1,0 +1,55 @@
+// Command vctransitions prints the legal VC-to-VC transition matrix for a
+// design point, reproducing Fig. 4 of Becker & Dally (SC '09): for the
+// flattened butterfly with 2×2×4 VCs, 96 of the 256 possible transitions
+// are legal.
+//
+// Usage:
+//
+//	vctransitions [-m 2] [-r 2] [-c 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	m := flag.Int("m", 2, "message classes")
+	r := flag.Int("r", 2, "resource classes")
+	c := flag.Int("c", 4, "VCs per class")
+	flag.Parse()
+
+	spec := core.NewVCSpec(*m, *r, *c)
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tm := spec.TransitionMatrix()
+	v := spec.V()
+
+	fmt.Printf("VC transition matrix (Fig. 4), %s VCs: rows = input VC, columns = output VC\n\n", spec)
+	fmt.Print("      ")
+	for to := 0; to < v; to++ {
+		fmt.Printf("%2d ", to)
+	}
+	fmt.Println()
+	for from := 0; from < v; from++ {
+		fm, fr, fc := spec.Decompose(from)
+		fmt.Printf("%2d %s ", from, classTag(fm, fr, fc))
+		for to := 0; to < v; to++ {
+			if tm.Get(from, to) {
+				fmt.Print(" ● ")
+			} else {
+				fmt.Print(" · ")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nlegal transitions: %d of %d possible\n", tm.Count(), v*v)
+	fmt.Printf("max successors per VC: %d\n", spec.MaxSuccessorsPerVC())
+}
+
+func classTag(m, r, c int) string { return fmt.Sprintf("(m%d,r%d,c%d)", m, r, c) }

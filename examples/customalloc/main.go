@@ -1,0 +1,101 @@
+// Customalloc: implement a user-defined allocator against the library's
+// Allocator interface and benchmark its matching quality against the
+// built-in architectures — the extension point a downstream user would use
+// to evaluate a new allocation scheme under the paper's methodology.
+//
+// The custom allocator is a "greedy row-major" allocator: it scans rows in
+// order and grants the first free requested column — simple, fast, maximal,
+// but unfair (earlier rows always win).
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// greedy is a row-major greedy allocator.
+type greedy struct {
+	rows, cols int
+	gnt        *repro.Matrix
+}
+
+func newGreedy(rows, cols int) *greedy {
+	return &greedy{rows: rows, cols: cols, gnt: repro.NewMatrix(rows, cols)}
+}
+
+func (g *greedy) Shape() (int, int) { return g.rows, g.cols }
+func (g *greedy) Name() string      { return "greedy" }
+func (g *greedy) Reset()            {}
+
+func (g *greedy) Allocate(req *repro.Matrix) *repro.Matrix {
+	g.gnt.Reset()
+	colUsed := make([]bool, g.cols)
+	for i := 0; i < g.rows; i++ {
+		req.Row(i).ForEach(func(j int) {
+			if !colUsed[j] && !g.gnt.Row(i).Any() {
+				g.gnt.Set(i, j)
+				colUsed[j] = true
+			}
+		})
+	}
+	return g.gnt
+}
+
+func main() {
+	const n, trials = 10, 5000
+	rng := repro.NewRand(99)
+
+	contenders := []repro.Allocator{
+		newGreedy(n, n),
+		repro.NewAllocator(repro.AllocConfig{Arch: repro.SepIF, Rows: n, Cols: n, ArbKind: repro.RoundRobin}),
+		repro.NewAllocator(repro.AllocConfig{Arch: repro.SepOF, Rows: n, Cols: n, ArbKind: repro.RoundRobin}),
+		repro.NewAllocator(repro.AllocConfig{Arch: repro.Wavefront, Rows: n, Cols: n}),
+	}
+
+	grants := make([]int, len(contenders))
+	rowShare := make([][]int, len(contenders))
+	for i := range rowShare {
+		rowShare[i] = make([]int, n)
+	}
+	maxGrants := 0
+
+	req := repro.NewMatrix(n, n)
+	for trial := 0; trial < trials; trial++ {
+		req.Reset()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Bool(0.3) {
+					req.Set(i, j)
+				}
+			}
+		}
+		maxGrants += repro.MaxMatchSize(req)
+		for ci, a := range contenders {
+			g := a.Allocate(req)
+			if err := repro.ValidateMatching(req, g); err != nil {
+				panic(fmt.Sprintf("%s produced an invalid matching: %v", a.Name(), err))
+			}
+			grants[ci] += g.Count()
+			for i := 0; i < n; i++ {
+				if g.Row(i).Any() {
+					rowShare[ci][i]++
+				}
+			}
+		}
+	}
+
+	fmt.Printf("matching quality over %d random 10x10 request matrices (density 0.3):\n\n", trials)
+	fmt.Println("allocator  quality  grant share row0 / row9 (fairness)")
+	for ci, a := range contenders {
+		fmt.Printf("%-10s %.4f   %5.1f%% / %5.1f%%\n",
+			a.Name(),
+			float64(grants[ci])/float64(maxGrants),
+			100*float64(rowShare[ci][0])/float64(trials),
+			100*float64(rowShare[ci][n-1])/float64(trials))
+	}
+	fmt.Println("\nThe greedy allocator's matching quality is in the wavefront class")
+	fmt.Println("(both are maximal), well above the separable allocators — but it")
+	fmt.Println("starves high-numbered rows: exactly the quality/fairness trade-off")
+	fmt.Println("the paper's §2 frames.")
+}

@@ -1,0 +1,59 @@
+// Torusdateline: the paper's §4.2 motivating example for resource classes,
+// end to end — an 8×8 torus with dateline routing, two resource classes,
+// and tornado traffic (the classic deadlock trigger for tori without the
+// dateline VC discipline). Also shows the sparse transition structure the
+// VC organization induces.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	topo := repro.Torus(8)
+	spec := repro.NewVCSpec(2, 2, 1) // request/reply × pre-/post-dateline
+	spec.ResourceSucc = repro.TorusResourceSucc()
+
+	fmt.Printf("8x8 torus, dateline routing, VCs %s\n", spec)
+	fmt.Printf("legal VC transitions: %d of %d\n\n",
+		spec.CountLegalTransitions(), spec.V()*spec.V())
+
+	pattern, err := repro.NewTrafficPattern("tornado", topo.Terminals())
+	if err != nil {
+		panic(err)
+	}
+
+	base := repro.SimConfig{
+		Topology: topo,
+		Routing:  repro.NewTorusDateline(topo),
+		Spec:     spec,
+		VA:       repro.VCAllocConfig{Arch: repro.SepIF, ArbKind: repro.RoundRobin},
+		SA: repro.SwitchAllocConfig{
+			Arch: repro.SepIF, ArbKind: repro.RoundRobin, SpecMode: repro.SpecReq,
+		},
+		Pattern:  pattern,
+		Seed:     5,
+		Warmup:   1000,
+		Measure:  3000,
+		Drain:    10000,
+		Validate: true, // per-cycle allocation checking
+	}
+
+	fmt.Println("tornado traffic (every terminal sends halfway around the ring):")
+	fmt.Println("rate\tavg latency\tp99\tthroughput")
+	for _, rate := range []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30} {
+		cfg := base
+		cfg.InjectionRate = rate
+		res := repro.NewNetwork(cfg).Run()
+		fmt.Printf("%.2f\t%8.1f\t%4d\t%8.3f\n", rate, res.AvgLatency, res.LatencyP99, res.Throughput)
+		if res.Saturated {
+			fmt.Println("saturated; stopping sweep")
+			break
+		}
+	}
+	fmt.Println("\nWithout the dateline's resource-class discipline the ring buffers")
+	fmt.Println("would form a cyclic dependency and this workload would deadlock;")
+	fmt.Println("with it, the run drains and per-cycle validation stays silent.")
+}

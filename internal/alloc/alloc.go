@@ -1,0 +1,539 @@
+// Package alloc implements the generic allocator architectures studied in
+// Becker & Dally (SC '09) §2: separable input-first and output-first
+// allocators, wavefront allocators, and a maximum-size reference allocator.
+//
+// An allocator computes a matching between requesters (matrix rows) and
+// resources (matrix columns): grants are a subset of requests with at most
+// one grant per row and per column. The implementations here mirror the
+// paper's RTL structures cycle for cycle; the corresponding hardware cost
+// models live in internal/costmodel and are derived from the same
+// structural parameters.
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/bitvec"
+)
+
+// Allocator computes matchings between rows (requesters) and columns
+// (resources) of a request matrix.
+type Allocator interface {
+	// Shape returns the (rows, cols) dimensions the allocator was built for.
+	Shape() (rows, cols int)
+	// Allocate computes a matching for req and returns the grant matrix.
+	// The returned matrix is owned by the allocator and remains valid only
+	// until the next Allocate call; callers needing to retain it must Clone.
+	// Priority state advances according to each architecture's fairness
+	// rules, so consecutive calls with the same request matrix may yield
+	// different (fair) matchings.
+	Allocate(req *bitvec.Matrix) *bitvec.Matrix
+	// Reset restores the initial priority state.
+	Reset()
+	// Name returns the paper's identifier for the architecture, e.g.
+	// "sep_if/rr" or "wf".
+	Name() string
+}
+
+// Arch names an allocator architecture.
+type Arch int
+
+const (
+	// SepIF is a separable input-first allocator (paper Fig. 1a).
+	SepIF Arch = iota
+	// SepOF is a separable output-first allocator (paper Fig. 1b).
+	SepOF
+	// Wavefront is a wavefront allocator with rotating priority diagonal
+	// (paper Fig. 2).
+	Wavefront
+	// Maximum is a maximum-size (augmenting-path) allocator used as the
+	// matching-quality upper bound (paper §2.3). It provides no fairness.
+	Maximum
+)
+
+// String returns the paper's short name for the architecture.
+func (a Arch) String() string {
+	switch a {
+	case SepIF:
+		return "sep_if"
+	case SepOF:
+		return "sep_of"
+	case Wavefront:
+		return "wf"
+	case Maximum:
+		return "max"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// Config parameterizes allocator construction.
+type Config struct {
+	// Arch selects the architecture.
+	Arch Arch
+	// Rows and Cols give the matrix dimensions.
+	Rows, Cols int
+	// ArbKind selects the arbiter implementation for separable
+	// architectures (ignored by Wavefront and Maximum).
+	ArbKind arbiter.Kind
+	// Iterations is the number of separable iterations to run (>= 1).
+	// The paper considers single-iteration allocation only (§2.1); values
+	// above 1 are provided for the ablation study. Zero means 1.
+	Iterations int
+	// UnconditionalUpdate makes the first-stage arbiters advance their
+	// priority whenever they produce a grant, even if it fails the second
+	// arbitration stage. This is the naive policy the paper's fairness rule
+	// (§2.1, [13]) exists to avoid: it synchronizes arbiter pointers and
+	// causes pattern-dependent starvation and throughput loss. Provided for
+	// the ablation study only.
+	UnconditionalUpdate bool
+}
+
+func (c Config) iterations() int {
+	if c.Iterations <= 0 {
+		return 1
+	}
+	return c.Iterations
+}
+
+// New builds an allocator from the configuration.
+func New(c Config) Allocator {
+	if c.Rows <= 0 || c.Cols <= 0 {
+		panic("alloc: dimensions must be positive")
+	}
+	switch c.Arch {
+	case SepIF:
+		return newSepIF(c)
+	case SepOF:
+		return newSepOF(c)
+	case Wavefront:
+		return NewWavefront(c.Rows, c.Cols)
+	case Maximum:
+		return NewMaximum(c.Rows, c.Cols)
+	default:
+		panic(fmt.Sprintf("alloc: unknown arch %d", int(c.Arch)))
+	}
+}
+
+// sepIF is a separable input-first allocator: each row first picks one of
+// its requested columns, then each column arbitrates among the forwarded
+// requests. Input arbiters update priority only when their pick also wins
+// output arbitration (iSLIP rule); output arbiters' grants are final, so
+// they update whenever they grant.
+type sepIF struct {
+	rows, cols int
+	iters      int
+	uncond     bool
+	name       string
+	inArb      []arbiter.Arbiter // per row, cols wide
+	outArb     []arbiter.Arbiter // per col, rows wide
+	fwd        []*bitvec.Vec     // per col, rows wide: forwarded requests
+	gnt        *bitvec.Matrix
+	rowFree    *bitvec.Vec
+	colFree    *bitvec.Vec
+	rowReq     *bitvec.Vec
+}
+
+func newSepIF(c Config) *sepIF {
+	a := &sepIF{
+		rows:    c.Rows,
+		cols:    c.Cols,
+		iters:   c.iterations(),
+		uncond:  c.UnconditionalUpdate,
+		name:    "sep_if/" + c.ArbKind.String(),
+		inArb:   make([]arbiter.Arbiter, c.Rows),
+		outArb:  make([]arbiter.Arbiter, c.Cols),
+		fwd:     make([]*bitvec.Vec, c.Cols),
+		gnt:     bitvec.NewMatrix(c.Rows, c.Cols),
+		rowFree: bitvec.New(c.Rows),
+		colFree: bitvec.New(c.Cols),
+		rowReq:  bitvec.New(c.Cols),
+	}
+	for i := range a.inArb {
+		a.inArb[i] = arbiter.New(c.ArbKind, c.Cols)
+	}
+	for j := range a.outArb {
+		a.outArb[j] = arbiter.New(c.ArbKind, c.Rows)
+		a.fwd[j] = bitvec.New(c.Rows)
+	}
+	return a
+}
+
+func (a *sepIF) Shape() (int, int) { return a.rows, a.cols }
+func (a *sepIF) Name() string      { return a.name }
+
+func (a *sepIF) Reset() {
+	for _, x := range a.inArb {
+		x.Reset()
+	}
+	for _, x := range a.outArb {
+		x.Reset()
+	}
+}
+
+func (a *sepIF) Allocate(req *bitvec.Matrix) *bitvec.Matrix {
+	checkShape(req, a.rows, a.cols)
+	a.gnt.Reset()
+	for i := 0; i < a.rows; i++ {
+		a.rowFree.Set(i)
+	}
+	for j := 0; j < a.cols; j++ {
+		a.colFree.Set(j)
+	}
+	for it := 0; it < a.iters; it++ {
+		// Input stage: each unmatched row picks one requested free column.
+		picked := false
+		for j := 0; j < a.cols; j++ {
+			a.fwd[j].Reset()
+		}
+		for i := 0; i < a.rows; i++ {
+			if !a.rowFree.Get(i) {
+				continue
+			}
+			a.rowReq.CopyFrom(req.Row(i))
+			a.rowReq.And(a.colFree)
+			c := a.inArb[i].Pick(a.rowReq)
+			if c < 0 {
+				continue
+			}
+			if a.uncond {
+				// Ablation: naive policy updates on every first-stage grant.
+				a.inArb[i].Update(c)
+			}
+			a.fwd[c].Set(i)
+			picked = true
+		}
+		if !picked {
+			break
+		}
+		// Output stage: each column arbitrates among forwarded requests.
+		for j := 0; j < a.cols; j++ {
+			if !a.colFree.Get(j) || !a.fwd[j].Any() {
+				continue
+			}
+			w := a.outArb[j].Pick(a.fwd[j])
+			if w < 0 {
+				continue
+			}
+			a.gnt.Set(w, j)
+			a.rowFree.Clear(w)
+			a.colFree.Clear(j)
+			// The output grant is final: update the output arbiter, and the
+			// input arbiter whose pick succeeded end to end.
+			a.outArb[j].Update(w)
+			if !a.uncond {
+				a.inArb[w].Update(j)
+			}
+		}
+	}
+	return a.gnt
+}
+
+// sepOF is a separable output-first allocator: each column first picks one
+// of the rows requesting it, then each row arbitrates among the columns that
+// selected it. Output arbiters update priority only when their pick wins the
+// row-side arbitration; row arbiters' grants are final.
+type sepOF struct {
+	rows, cols int
+	iters      int
+	uncond     bool
+	name       string
+	outArb     []arbiter.Arbiter // per col, rows wide (first stage)
+	inArb      []arbiter.Arbiter // per row, cols wide (second stage)
+	offered    []*bitvec.Vec     // per row, cols wide: columns offered to row
+	gnt        *bitvec.Matrix
+	rowFree    *bitvec.Vec
+	colFree    *bitvec.Vec
+	colReq     *bitvec.Vec
+}
+
+func newSepOF(c Config) *sepOF {
+	a := &sepOF{
+		rows:    c.Rows,
+		cols:    c.Cols,
+		iters:   c.iterations(),
+		uncond:  c.UnconditionalUpdate,
+		name:    "sep_of/" + c.ArbKind.String(),
+		outArb:  make([]arbiter.Arbiter, c.Cols),
+		inArb:   make([]arbiter.Arbiter, c.Rows),
+		offered: make([]*bitvec.Vec, c.Rows),
+		gnt:     bitvec.NewMatrix(c.Rows, c.Cols),
+		rowFree: bitvec.New(c.Rows),
+		colFree: bitvec.New(c.Cols),
+		colReq:  bitvec.New(c.Rows),
+	}
+	for j := range a.outArb {
+		a.outArb[j] = arbiter.New(c.ArbKind, c.Rows)
+	}
+	for i := range a.inArb {
+		a.inArb[i] = arbiter.New(c.ArbKind, c.Cols)
+		a.offered[i] = bitvec.New(c.Cols)
+	}
+	return a
+}
+
+func (a *sepOF) Shape() (int, int) { return a.rows, a.cols }
+func (a *sepOF) Name() string      { return a.name }
+
+func (a *sepOF) Reset() {
+	for _, x := range a.inArb {
+		x.Reset()
+	}
+	for _, x := range a.outArb {
+		x.Reset()
+	}
+}
+
+func (a *sepOF) Allocate(req *bitvec.Matrix) *bitvec.Matrix {
+	checkShape(req, a.rows, a.cols)
+	a.gnt.Reset()
+	for i := 0; i < a.rows; i++ {
+		a.rowFree.Set(i)
+	}
+	for j := 0; j < a.cols; j++ {
+		a.colFree.Set(j)
+	}
+	colPick := make([]int, a.cols)
+	for it := 0; it < a.iters; it++ {
+		for i := 0; i < a.rows; i++ {
+			a.offered[i].Reset()
+		}
+		// Output stage: each free column picks one requesting free row.
+		picked := false
+		for j := 0; j < a.cols; j++ {
+			colPick[j] = -1
+			if !a.colFree.Get(j) {
+				continue
+			}
+			a.colReq.Reset()
+			for i := 0; i < a.rows; i++ {
+				if a.rowFree.Get(i) && req.Get(i, j) {
+					a.colReq.Set(i)
+				}
+			}
+			w := a.outArb[j].Pick(a.colReq)
+			if w < 0 {
+				continue
+			}
+			if a.uncond {
+				// Ablation: naive policy updates on every first-stage grant.
+				a.outArb[j].Update(w)
+			}
+			colPick[j] = w
+			a.offered[w].Set(j)
+			picked = true
+		}
+		if !picked {
+			break
+		}
+		// Input stage: each row picks among the columns offered to it.
+		for i := 0; i < a.rows; i++ {
+			if !a.rowFree.Get(i) || !a.offered[i].Any() {
+				continue
+			}
+			c := a.inArb[i].Pick(a.offered[i])
+			if c < 0 {
+				continue
+			}
+			a.gnt.Set(i, c)
+			a.rowFree.Clear(i)
+			a.colFree.Clear(c)
+			a.inArb[i].Update(c)
+			if !a.uncond {
+				a.outArb[c].Update(i)
+			}
+		}
+	}
+	return a.gnt
+}
+
+// wavefront implements the wavefront allocator of Tamir & Chi as used in the
+// paper: requests are granted diagonal by diagonal starting from a rotating
+// priority diagonal; a granted request blocks its entire row and column for
+// later diagonals. The result is always a maximal matching. Weak fairness
+// comes from advancing the starting diagonal after every allocation.
+type wavefront struct {
+	rows, cols int
+	n          int // number of diagonal classes = max(rows, cols)
+	prio       int
+	gnt        *bitvec.Matrix
+	rowFree    *bitvec.Vec
+	colFree    *bitvec.Vec
+}
+
+// NewWavefront returns a rows×cols wavefront allocator.
+func NewWavefront(rows, cols int) Allocator {
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	return &wavefront{
+		rows:    rows,
+		cols:    cols,
+		n:       n,
+		gnt:     bitvec.NewMatrix(rows, cols),
+		rowFree: bitvec.New(rows),
+		colFree: bitvec.New(cols),
+	}
+}
+
+func (a *wavefront) Shape() (int, int) { return a.rows, a.cols }
+func (a *wavefront) Name() string      { return "wf" }
+func (a *wavefront) Reset()            { a.prio = 0 }
+
+func (a *wavefront) Allocate(req *bitvec.Matrix) *bitvec.Matrix {
+	checkShape(req, a.rows, a.cols)
+	a.gnt.Reset()
+	for i := 0; i < a.rows; i++ {
+		a.rowFree.Set(i)
+	}
+	for j := 0; j < a.cols; j++ {
+		a.colFree.Set(j)
+	}
+	for k := 0; k < a.n; k++ {
+		d := (a.prio + k) % a.n
+		// Entries on diagonal class d: (i, j) with (i + j) mod n == d.
+		for i := 0; i < a.rows; i++ {
+			j := (d - i%a.n + a.n) % a.n
+			for ; j < a.cols; j += a.n {
+				if req.Get(i, j) && a.rowFree.Get(i) && a.colFree.Get(j) {
+					a.gnt.Set(i, j)
+					a.rowFree.Clear(i)
+					a.colFree.Clear(j)
+				}
+			}
+		}
+	}
+	a.prio = (a.prio + 1) % a.n
+	return a.gnt
+}
+
+// maximum is a maximum-size allocator based on Hopcroft–Karp style repeated
+// augmenting-path search (Ford–Fulkerson on the bipartite request graph).
+// It is used as the matching-quality reference; it provides no fairness and
+// would be impractical as single-cycle router hardware (paper §2.3).
+type maximum struct {
+	rows, cols int
+	matchRow   []int // matchRow[i] = matched col or -1
+	matchCol   []int // matchCol[j] = matched row or -1
+	visited    []bool
+	gnt        *bitvec.Matrix
+}
+
+// NewMaximum returns a rows×cols maximum-size allocator.
+func NewMaximum(rows, cols int) Allocator {
+	return &maximum{
+		rows:     rows,
+		cols:     cols,
+		matchRow: make([]int, rows),
+		matchCol: make([]int, cols),
+		visited:  make([]bool, cols),
+		gnt:      bitvec.NewMatrix(rows, cols),
+	}
+}
+
+func (a *maximum) Shape() (int, int) { return a.rows, a.cols }
+func (a *maximum) Name() string      { return "max" }
+func (a *maximum) Reset()            {}
+
+func (a *maximum) Allocate(req *bitvec.Matrix) *bitvec.Matrix {
+	checkShape(req, a.rows, a.cols)
+	for i := range a.matchRow {
+		a.matchRow[i] = -1
+	}
+	for j := range a.matchCol {
+		a.matchCol[j] = -1
+	}
+	for i := 0; i < a.rows; i++ {
+		for j := range a.visited {
+			a.visited[j] = false
+		}
+		a.augment(req, i)
+	}
+	a.gnt.Reset()
+	for i, j := range a.matchRow {
+		if j >= 0 {
+			a.gnt.Set(i, j)
+		}
+	}
+	return a.gnt
+}
+
+// augment searches for an augmenting path from row i (Kuhn's algorithm).
+func (a *maximum) augment(req *bitvec.Matrix, i int) bool {
+	found := false
+	req.Row(i).ForEach(func(j int) {
+		if found || a.visited[j] {
+			return
+		}
+		a.visited[j] = true
+		if a.matchCol[j] < 0 || a.augment(req, a.matchCol[j]) {
+			a.matchCol[j] = i
+			a.matchRow[i] = j
+			found = true
+		}
+	})
+	return found
+}
+
+// MatchSize returns the number of grants in a maximum matching of req
+// without constructing an allocator. It is a convenience for quality
+// normalization.
+func MatchSize(req *bitvec.Matrix) int {
+	a := NewMaximum(req.Rows(), req.Cols())
+	return a.Allocate(req).Count()
+}
+
+// IsMaximal reports whether gnt is a maximal matching for req: no request
+// (i, j) exists with both row i and column j unmatched.
+func IsMaximal(req, gnt *bitvec.Matrix) bool {
+	rows, cols := req.Rows(), req.Cols()
+	rowUsed := make([]bool, rows)
+	colUsed := make([]bool, cols)
+	for i := 0; i < rows; i++ {
+		gnt.Row(i).ForEach(func(j int) {
+			rowUsed[i] = true
+			colUsed[j] = true
+		})
+	}
+	for i := 0; i < rows; i++ {
+		if rowUsed[i] {
+			continue
+		}
+		blocked := true
+		req.Row(i).ForEach(func(j int) {
+			if !colUsed[j] {
+				blocked = false
+			}
+		})
+		if !blocked {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate reports an error when gnt is not a valid matching for req:
+// grants must be a subset of requests with at most one grant per row and
+// per column.
+func Validate(req, gnt *bitvec.Matrix) error {
+	if gnt.Rows() != req.Rows() || gnt.Cols() != req.Cols() {
+		return fmt.Errorf("alloc: grant shape %dx%d does not match request shape %dx%d",
+			gnt.Rows(), gnt.Cols(), req.Rows(), req.Cols())
+	}
+	if !gnt.SubsetOf(req) {
+		return fmt.Errorf("alloc: grant issued without request")
+	}
+	if !gnt.IsMatching() {
+		return fmt.Errorf("alloc: grants violate matching constraint")
+	}
+	return nil
+}
+
+func checkShape(req *bitvec.Matrix, rows, cols int) {
+	if req.Rows() != rows || req.Cols() != cols {
+		panic(fmt.Sprintf("alloc: request shape %dx%d, allocator shape %dx%d",
+			req.Rows(), req.Cols(), rows, cols))
+	}
+}

@@ -1,0 +1,123 @@
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Incremental is a maximum-size allocator in the style of Hoare et al. [8]
+// (referenced in §2.3 of the paper): instead of recomputing a matching from
+// scratch every cycle, it maintains the previous cycle's matching and
+// performs a bounded number of augmenting-path steps per invocation.
+//
+// With persistent requests the matching converges to maximum within a few
+// cycles; under rapidly changing requests a small step budget trades
+// matching quality for the bounded per-cycle work a hardware implementation
+// must respect. Like plain maximum-size allocation it offers no fairness
+// guarantees (§2.3).
+type Incremental struct {
+	rows, cols int
+	steps      int
+	cursor     int // next row to consider for augmentation
+
+	matchRow []int // matchRow[i] = matched col or -1
+	matchCol []int // matchCol[j] = matched row or -1
+	visited  []bool
+	gnt      *bitvec.Matrix
+}
+
+// NewIncremental returns a rows×cols incremental allocator performing at
+// most stepsPerCycle augmenting-path searches per Allocate call
+// (stepsPerCycle <= 0 means one).
+func NewIncremental(rows, cols, stepsPerCycle int) *Incremental {
+	if rows <= 0 || cols <= 0 {
+		panic("alloc: dimensions must be positive")
+	}
+	if stepsPerCycle <= 0 {
+		stepsPerCycle = 1
+	}
+	a := &Incremental{
+		rows:     rows,
+		cols:     cols,
+		steps:    stepsPerCycle,
+		matchRow: make([]int, rows),
+		matchCol: make([]int, cols),
+		visited:  make([]bool, cols),
+		gnt:      bitvec.NewMatrix(rows, cols),
+	}
+	a.Reset()
+	return a
+}
+
+// Shape implements Allocator.
+func (a *Incremental) Shape() (int, int) { return a.rows, a.cols }
+
+// Name implements Allocator.
+func (a *Incremental) Name() string { return fmt.Sprintf("incr/%d", a.steps) }
+
+// Reset implements Allocator, clearing the carried matching.
+func (a *Incremental) Reset() {
+	for i := range a.matchRow {
+		a.matchRow[i] = -1
+	}
+	for j := range a.matchCol {
+		a.matchCol[j] = -1
+	}
+	a.cursor = 0
+}
+
+// Allocate implements Allocator: it first invalidates carried assignments
+// whose requests disappeared, then runs up to the configured number of
+// augmenting-path steps from unmatched rows.
+func (a *Incremental) Allocate(req *bitvec.Matrix) *bitvec.Matrix {
+	checkShape(req, a.rows, a.cols)
+	// Drop assignments no longer requested.
+	for i, j := range a.matchRow {
+		if j >= 0 && !req.Get(i, j) {
+			a.matchRow[i] = -1
+			a.matchCol[j] = -1
+		}
+	}
+	// Bounded augmentation from unmatched requesting rows. A rotating
+	// cursor spreads the per-cycle search budget across rows, so an
+	// unmatchable row cannot monopolize the steps and every persistent
+	// request is attempted within rows cycles.
+	steps := a.steps
+	start := a.cursor
+	for k := 0; k < a.rows && steps > 0; k++ {
+		i := (start + k) % a.rows
+		if a.matchRow[i] >= 0 || !req.Row(i).Any() {
+			continue
+		}
+		for j := range a.visited {
+			a.visited[j] = false
+		}
+		a.augment(req, i)
+		steps--
+		a.cursor = (i + 1) % a.rows
+	}
+	a.gnt.Reset()
+	for i, j := range a.matchRow {
+		if j >= 0 {
+			a.gnt.Set(i, j)
+		}
+	}
+	return a.gnt
+}
+
+func (a *Incremental) augment(req *bitvec.Matrix, i int) bool {
+	found := false
+	req.Row(i).ForEach(func(j int) {
+		if found || a.visited[j] {
+			return
+		}
+		a.visited[j] = true
+		if a.matchCol[j] < 0 || a.augment(req, a.matchCol[j]) {
+			a.matchCol[j] = i
+			a.matchRow[i] = j
+			found = true
+		}
+	})
+	return found
+}

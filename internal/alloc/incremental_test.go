@@ -1,0 +1,170 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/xrand"
+)
+
+func TestIncrementalValidity(t *testing.T) {
+	rng := xrand.New(401)
+	a := NewIncremental(8, 8, 2)
+	for trial := 0; trial < 300; trial++ {
+		req := randomMatrix(rng, 8, 8, 0.3)
+		if err := Validate(req, a.Allocate(req)); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestIncrementalConvergesToMaximum(t *testing.T) {
+	// With persistent requests, one augmentation per cycle reaches the
+	// maximum matching within rows cycles (Hoare et al.'s premise).
+	rng := xrand.New(409)
+	for trial := 0; trial < 100; trial++ {
+		req := randomMatrix(rng, 8, 8, 0.3)
+		want := MatchSize(req)
+		a := NewIncremental(8, 8, 1)
+		var got int
+		for cycle := 0; cycle < 8; cycle++ {
+			got = a.Allocate(req).Count()
+		}
+		if got != want {
+			t.Fatalf("trial %d: converged to %d, maximum %d", trial, got, want)
+		}
+	}
+}
+
+func TestIncrementalUnlimitedEqualsMaximum(t *testing.T) {
+	// With a step budget >= rows it matches the one-shot maximum allocator
+	// on the first call.
+	rng := xrand.New(419)
+	max := NewMaximum(8, 8)
+	for trial := 0; trial < 200; trial++ {
+		req := randomMatrix(rng, 8, 8, 0.35)
+		a := NewIncremental(8, 8, 8)
+		if got, want := a.Allocate(req).Count(), max.Allocate(req).Count(); got != want {
+			t.Fatalf("trial %d: %d vs maximum %d", trial, got, want)
+		}
+	}
+}
+
+func TestIncrementalReusesMatchingAcrossCycles(t *testing.T) {
+	// The carried matching means a single step per cycle suffices to track
+	// a slowly changing request set: after converging, removing one
+	// request and adding another is repaired in one cycle.
+	req := bitvec.NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		req.Set(i, i)
+	}
+	a := NewIncremental(4, 4, 1)
+	for cycle := 0; cycle < 4; cycle++ {
+		a.Allocate(req)
+	}
+	if a.Allocate(req).Count() != 4 {
+		t.Fatal("did not converge on identity requests")
+	}
+	// Move row 0's request from column 0 to column 3... which is taken by
+	// row 3; give row 3 an alternative.
+	req.Clear(0, 0)
+	req.Set(0, 3)
+	req.Set(3, 0)
+	g := a.Allocate(req)
+	if g.Count() != 4 {
+		t.Fatalf("one augmentation step should repair the matching, got %d", g.Count())
+	}
+	if err := Validate(req, g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalDropsStaleGrants(t *testing.T) {
+	req := bitvec.NewMatrix(2, 2)
+	req.Set(0, 0)
+	a := NewIncremental(2, 2, 2)
+	if !a.Allocate(req).Get(0, 0) {
+		t.Fatal("request not granted")
+	}
+	req.Clear(0, 0)
+	req.Set(1, 1)
+	g := a.Allocate(req)
+	if g.Get(0, 0) {
+		t.Fatal("stale grant retained")
+	}
+	if !g.Get(1, 1) {
+		t.Fatal("new request not granted")
+	}
+}
+
+func TestIncrementalBoundedWorkLagsBehind(t *testing.T) {
+	// With rapidly changing dense requests and a single step per cycle,
+	// the incremental allocator cannot keep pace with the one-shot maximum
+	// — this is the complexity/quality trade-off §2.3 describes.
+	rng := xrand.New(431)
+	a := NewIncremental(10, 10, 1)
+	max := NewMaximum(10, 10)
+	var got, want int
+	for cycle := 0; cycle < 500; cycle++ {
+		req := randomMatrix(rng, 10, 10, 0.4)
+		got += a.Allocate(req).Count()
+		want += max.Allocate(req).Count()
+	}
+	if got >= want {
+		t.Fatalf("1-step incremental (%d) should trail one-shot maximum (%d) on volatile requests", got, want)
+	}
+	// More augmentation steps per cycle close the gap monotonically.
+	a4 := NewIncremental(10, 10, 4)
+	rng4 := xrand.New(431)
+	var got4 int
+	for cycle := 0; cycle < 500; cycle++ {
+		got4 += a4.Allocate(randomMatrix(rng4, 10, 10, 0.4)).Count()
+	}
+	if got4 <= got {
+		t.Fatalf("4-step incremental (%d) should beat 1-step (%d)", got4, got)
+	}
+}
+
+func TestIncrementalResetAndName(t *testing.T) {
+	a := NewIncremental(4, 4, 0) // 0 -> one step
+	if a.Name() != "incr/1" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	if r, c := a.Shape(); r != 4 || c != 4 {
+		t.Fatal("bad shape")
+	}
+	req := bitvec.NewMatrix(4, 4)
+	req.Set(2, 2)
+	a.Allocate(req)
+	a.Reset()
+	// After reset the matching is empty again; the same request must be
+	// re-established rather than carried.
+	req.Clear(2, 2)
+	req.Set(3, 3)
+	g := a.Allocate(req)
+	if g.Get(2, 2) {
+		t.Fatal("Reset did not clear carried matching")
+	}
+	if !g.Get(3, 3) {
+		t.Fatal("fresh request not granted after Reset")
+	}
+}
+
+func TestIncrementalBadDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewIncremental(0, 4, 1)
+}
+
+func BenchmarkIncremental16x16(b *testing.B) {
+	a := NewIncremental(16, 16, 2)
+	rng := xrand.New(1)
+	req := randomMatrix(rng, 16, 16, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Allocate(req)
+	}
+}

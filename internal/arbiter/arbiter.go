@@ -1,0 +1,273 @@
+// Package arbiter implements the arbiter microarchitectures used as building
+// blocks for the separable allocators of Becker & Dally (SC '09): round-robin
+// arbiters, matrix arbiters, and the tree arbiters used to decompose the
+// large P×V-input output-stage arbiters of VC allocators.
+//
+// All arbiters follow the two-phase protocol required for separable
+// allocation with iSLIP-style fairness [McKeown '99]: Pick computes the
+// combinational winner for a request vector without touching arbiter state,
+// and Update advances the priority state only when the caller confirms that
+// the pick was successful end-to-end. Updating unconditionally would allow
+// traffic-pattern-dependent starvation (see §2.1 of the paper).
+package arbiter
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Arbiter selects a single winner among a set of requesters.
+type Arbiter interface {
+	// Size returns the number of request inputs.
+	Size() int
+	// Pick returns the index of the winning request in req, or -1 if req is
+	// empty. Pick is purely combinational: it must not modify arbiter state
+	// and must return the same winner for the same request vector until
+	// Update is called.
+	Pick(req *bitvec.Vec) int
+	// Update advances the priority state to reflect a successful grant to
+	// winner. Callers invoke it only when the grant was accepted end-to-end.
+	Update(winner int)
+	// Reset restores the initial priority state.
+	Reset()
+}
+
+// Kind names an arbiter implementation; it selects both functional behavior
+// and the cost-model netlist.
+type Kind int
+
+const (
+	// RoundRobin is a conventional round-robin arbiter built from a rotating
+	// priority pointer and a thermometer-masked priority encoder.
+	RoundRobin Kind = iota
+	// Matrix is a matrix arbiter holding a triangular matrix of pairwise
+	// priority flip-flops; it implements a least-recently-served policy.
+	Matrix
+)
+
+// String returns the short name used in the paper's figure legends.
+func (k Kind) String() string {
+	switch k {
+	case RoundRobin:
+		return "rr"
+	case Matrix:
+		return "m"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// New constructs an arbiter of the given kind with n inputs.
+func New(k Kind, n int) Arbiter {
+	switch k {
+	case RoundRobin:
+		return NewRoundRobin(n)
+	case Matrix:
+		return NewMatrix(n)
+	default:
+		panic(fmt.Sprintf("arbiter: unknown kind %d", int(k)))
+	}
+}
+
+// RoundRobinArbiter grants the first request at or after a rotating priority
+// pointer. After a successful grant to input i, the pointer moves to i+1, so
+// the just-served input becomes lowest priority.
+type RoundRobinArbiter struct {
+	n   int
+	ptr int
+}
+
+// NewRoundRobin returns an n-input round-robin arbiter with priority
+// initially at input 0.
+func NewRoundRobin(n int) *RoundRobinArbiter {
+	if n <= 0 {
+		panic("arbiter: size must be positive")
+	}
+	return &RoundRobinArbiter{n: n}
+}
+
+// Size implements Arbiter.
+func (a *RoundRobinArbiter) Size() int { return a.n }
+
+// Pick implements Arbiter.
+func (a *RoundRobinArbiter) Pick(req *bitvec.Vec) int {
+	if req.Len() != a.n {
+		panic(fmt.Sprintf("arbiter: request width %d, arbiter width %d", req.Len(), a.n))
+	}
+	return req.NextFrom(a.ptr)
+}
+
+// Update implements Arbiter.
+func (a *RoundRobinArbiter) Update(winner int) {
+	if winner < 0 || winner >= a.n {
+		panic(fmt.Sprintf("arbiter: winner %d out of range [0,%d)", winner, a.n))
+	}
+	a.ptr = (winner + 1) % a.n
+}
+
+// Reset implements Arbiter.
+func (a *RoundRobinArbiter) Reset() { a.ptr = 0 }
+
+// MatrixArbiter implements Tamir & Chi's matrix arbiter: state w[i][j] means
+// input i beats input j. The winner is the requesting input that beats every
+// other requesting input; on Update the winner's rows/columns are flipped so
+// it becomes lowest priority against everyone (least-recently-served).
+type MatrixArbiter struct {
+	n int
+	w []bool // w[i*n+j], i beats j; only i != j meaningful
+}
+
+// NewMatrix returns an n-input matrix arbiter with initial priority order
+// 0 > 1 > ... > n-1.
+func NewMatrix(n int) *MatrixArbiter {
+	if n <= 0 {
+		panic("arbiter: size must be positive")
+	}
+	a := &MatrixArbiter{n: n, w: make([]bool, n*n)}
+	a.Reset()
+	return a
+}
+
+// Size implements Arbiter.
+func (a *MatrixArbiter) Size() int { return a.n }
+
+// Pick implements Arbiter.
+func (a *MatrixArbiter) Pick(req *bitvec.Vec) int {
+	if req.Len() != a.n {
+		panic(fmt.Sprintf("arbiter: request width %d, arbiter width %d", req.Len(), a.n))
+	}
+	winner := -1
+	req.ForEach(func(i int) {
+		if winner != -1 {
+			return
+		}
+		ok := true
+		req.ForEach(func(j int) {
+			if i != j && !a.w[i*a.n+j] {
+				ok = false
+			}
+		})
+		if ok {
+			winner = i
+		}
+	})
+	return winner
+}
+
+// Update implements Arbiter.
+func (a *MatrixArbiter) Update(winner int) {
+	if winner < 0 || winner >= a.n {
+		panic(fmt.Sprintf("arbiter: winner %d out of range [0,%d)", winner, a.n))
+	}
+	for j := 0; j < a.n; j++ {
+		if j == winner {
+			continue
+		}
+		a.w[winner*a.n+j] = false // winner now loses to everyone
+		a.w[j*a.n+winner] = true  // everyone now beats winner
+	}
+}
+
+// Reset implements Arbiter.
+func (a *MatrixArbiter) Reset() {
+	for i := 0; i < a.n; i++ {
+		for j := 0; j < a.n; j++ {
+			a.w[i*a.n+j] = i < j
+		}
+	}
+}
+
+// TreeArbiter decomposes a (groups×groupSize)-input arbitration into
+// groupSize-input leaf arbiters operating in parallel with a groups-input
+// root arbiter that selects among them, as described in §4.1 of the paper
+// for the output-stage P×V:1 arbiters of separable VC allocators. Input i
+// belongs to group i/groupSize.
+type TreeArbiter struct {
+	groups    int
+	groupSize int
+	leaves    []Arbiter
+	root      Arbiter
+
+	// scratch
+	leafReq *bitvec.Vec
+	rootReq *bitvec.Vec
+}
+
+// NewTree returns a tree arbiter over groups*groupSize inputs with the leaf
+// and root arbiters built from the given kind.
+func NewTree(k Kind, groups, groupSize int) *TreeArbiter {
+	if groups <= 0 || groupSize <= 0 {
+		panic("arbiter: tree dimensions must be positive")
+	}
+	t := &TreeArbiter{
+		groups:    groups,
+		groupSize: groupSize,
+		leaves:    make([]Arbiter, groups),
+		root:      New(k, groups),
+		leafReq:   bitvec.New(groupSize),
+		rootReq:   bitvec.New(groups),
+	}
+	for g := range t.leaves {
+		t.leaves[g] = New(k, groupSize)
+	}
+	return t
+}
+
+// Size implements Arbiter.
+func (t *TreeArbiter) Size() int { return t.groups * t.groupSize }
+
+// Pick implements Arbiter. The winner is the leaf winner of the root-winning
+// group, matching the RTL structure where the root arbiter selects among
+// per-group any-request signals.
+func (t *TreeArbiter) Pick(req *bitvec.Vec) int {
+	if req.Len() != t.Size() {
+		panic(fmt.Sprintf("arbiter: request width %d, arbiter width %d", req.Len(), t.Size()))
+	}
+	t.rootReq.Reset()
+	for g := 0; g < t.groups; g++ {
+		any := false
+		for i := 0; i < t.groupSize; i++ {
+			if req.Get(g*t.groupSize + i) {
+				any = true
+				break
+			}
+		}
+		if any {
+			t.rootReq.Set(g)
+		}
+	}
+	g := t.root.Pick(t.rootReq)
+	if g < 0 {
+		return -1
+	}
+	t.leafReq.Reset()
+	for i := 0; i < t.groupSize; i++ {
+		if req.Get(g*t.groupSize + i) {
+			t.leafReq.Set(i)
+		}
+	}
+	w := t.leaves[g].Pick(t.leafReq)
+	if w < 0 {
+		return -1
+	}
+	return g*t.groupSize + w
+}
+
+// Update implements Arbiter, advancing both the root and the winning leaf.
+func (t *TreeArbiter) Update(winner int) {
+	if winner < 0 || winner >= t.Size() {
+		panic(fmt.Sprintf("arbiter: winner %d out of range [0,%d)", winner, t.Size()))
+	}
+	g := winner / t.groupSize
+	t.root.Update(g)
+	t.leaves[g].Update(winner % t.groupSize)
+}
+
+// Reset implements Arbiter.
+func (t *TreeArbiter) Reset() {
+	t.root.Reset()
+	for _, l := range t.leaves {
+		l.Reset()
+	}
+}

@@ -1,0 +1,371 @@
+// Package bitvec provides dense bit vectors and bit matrices sized for
+// allocator request/grant bookkeeping.
+//
+// Allocators in this repository operate on request matrices with up to
+// a few hundred rows and columns (P×V reaches 160 for the largest
+// flattened-butterfly design point), so the representation favors
+// simplicity and cache friendliness over large-scale sparse tricks.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vec is a fixed-size dense bit vector. The zero value is unusable; create
+// vectors with New. All indices must be in [0, Len()).
+type Vec struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed bit vector with n bits.
+func New(n int) *Vec {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vec{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromBools builds a vector from a bool slice.
+func FromBools(b []bool) *Vec {
+	v := New(len(b))
+	for i, x := range b {
+		if x {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vec) Len() int { return v.n }
+
+func (v *Vec) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Get reports whether bit i is set.
+func (v *Vec) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Set sets bit i.
+func (v *Vec) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (v *Vec) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// SetTo sets bit i to b.
+func (v *Vec) SetTo(i int, b bool) {
+	if b {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+// Reset clears all bits.
+func (v *Vec) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Any reports whether any bit is set.
+func (v *Vec) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of set bits.
+func (v *Vec) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// First returns the index of the lowest set bit, or -1 if none.
+func (v *Vec) First() int {
+	for wi, w := range v.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// NextFrom returns the index of the lowest set bit >= i, wrapping around to
+// the start of the vector if none is found at or above i. Returns -1 if the
+// vector is empty of set bits. This is the primitive behind round-robin
+// arbitration.
+func (v *Vec) NextFrom(i int) int {
+	if v.n == 0 {
+		return -1
+	}
+	if i < 0 || i >= v.n {
+		i = 0
+	}
+	wi := i / wordBits
+	w := v.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for k := wi + 1; k < len(v.words); k++ {
+		if v.words[k] != 0 {
+			return k*wordBits + bits.TrailingZeros64(v.words[k])
+		}
+	}
+	for k := 0; k <= wi; k++ {
+		if v.words[k] != 0 {
+			b := k*wordBits + bits.TrailingZeros64(v.words[k])
+			if k < wi || b < i {
+				return b
+			}
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every set bit, in increasing index order.
+func (v *Vec) ForEach(fn func(i int)) {
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Or sets v = v | o. Panics if lengths differ.
+func (v *Vec) Or(o *Vec) {
+	if v.n != o.n {
+		panic("bitvec: length mismatch")
+	}
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+}
+
+// And sets v = v & o. Panics if lengths differ.
+func (v *Vec) And(o *Vec) {
+	if v.n != o.n {
+		panic("bitvec: length mismatch")
+	}
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+}
+
+// AndNot sets v = v &^ o. Panics if lengths differ.
+func (v *Vec) AndNot(o *Vec) {
+	if v.n != o.n {
+		panic("bitvec: length mismatch")
+	}
+	for i := range v.words {
+		v.words[i] &^= o.words[i]
+	}
+}
+
+// Equal reports whether v and o have identical length and contents.
+func (v *Vec) Equal(o *Vec) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of v.
+func (v *Vec) Clone() *Vec {
+	c := New(v.n)
+	copy(c.words, v.words)
+	return c
+}
+
+// CopyFrom overwrites v with the contents of o. Panics if lengths differ.
+func (v *Vec) CopyFrom(o *Vec) {
+	if v.n != o.n {
+		panic("bitvec: length mismatch")
+	}
+	copy(v.words, o.words)
+}
+
+// String renders the vector as a bit string, index 0 leftmost.
+func (v *Vec) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Matrix is a dense rows×cols bit matrix used for allocator request and
+// grant matrices: rows index requesters, columns index resources.
+type Matrix struct {
+	rows, cols int
+	bits       []*Vec // one Vec per row
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("bitvec: negative matrix dimension")
+	}
+	m := &Matrix{rows: rows, cols: cols, bits: make([]*Vec, rows)}
+	for i := range m.bits {
+		m.bits[i] = New(cols)
+	}
+	return m
+}
+
+// Rows returns the number of rows (requesters).
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns (resources).
+func (m *Matrix) Cols() int { return m.cols }
+
+// Get reports whether entry (r, c) is set.
+func (m *Matrix) Get(r, c int) bool { return m.bits[r].Get(c) }
+
+// Set sets entry (r, c).
+func (m *Matrix) Set(r, c int) { m.bits[r].Set(c) }
+
+// Clear clears entry (r, c).
+func (m *Matrix) Clear(r, c int) { m.bits[r].Clear(c) }
+
+// SetTo sets entry (r, c) to b.
+func (m *Matrix) SetTo(r, c int, b bool) { m.bits[r].SetTo(c, b) }
+
+// Row returns the live Vec backing row r. Mutations are visible in m.
+func (m *Matrix) Row(r int) *Vec { return m.bits[r] }
+
+// Reset clears all entries.
+func (m *Matrix) Reset() {
+	for _, row := range m.bits {
+		row.Reset()
+	}
+}
+
+// Count returns the total number of set entries.
+func (m *Matrix) Count() int {
+	c := 0
+	for _, row := range m.bits {
+		c += row.Count()
+	}
+	return c
+}
+
+// Any reports whether any entry is set.
+func (m *Matrix) Any() bool {
+	for _, row := range m.bits {
+		if row.Any() {
+			return true
+		}
+	}
+	return false
+}
+
+// ColCount returns the number of set entries in column c.
+func (m *Matrix) ColCount(c int) int {
+	n := 0
+	for _, row := range m.bits {
+		if row.Get(c) {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	for i, row := range m.bits {
+		c.bits[i].CopyFrom(row)
+	}
+	return c
+}
+
+// Equal reports whether m and o have identical dimensions and contents.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.bits {
+		if !m.bits[i].Equal(o.bits[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every set entry of m is also set in o.
+func (m *Matrix) SubsetOf(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.bits {
+		t := m.bits[i].Clone()
+		t.AndNot(o.bits[i])
+		if t.Any() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMatching reports whether m has at most one set entry per row and per
+// column, i.e. whether it is a valid matching.
+func (m *Matrix) IsMatching() bool {
+	for _, row := range m.bits {
+		if row.Count() > 1 {
+			return false
+		}
+	}
+	for c := 0; c < m.cols; c++ {
+		if m.ColCount(c) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix one row per line.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i, row := range m.bits {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(row.String())
+	}
+	return sb.String()
+}

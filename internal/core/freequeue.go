@@ -1,0 +1,172 @@
+package core
+
+import (
+	"repro/internal/arbiter"
+	"repro/internal/bitvec"
+)
+
+// freeQueueVCAllocator implements the free-VC-queue scheme Mullins et al.
+// propose for reducing VC allocation delay (cited as [15] in the paper's
+// related work): instead of matching input VCs to specific output VCs, each
+// output port keeps one FIFO of free VCs per (message, resource) class. A
+// single arbitration per (port, class) picks a winning input VC, which is
+// assigned whichever VC sits at the queue head — removing the input-side
+// arbitration stage from the critical path entirely.
+//
+// The price is matching quality: at most one VC per (port, class) can be
+// assigned per cycle even when several are free, so under load it grants
+// fewer VCs than the separable or wavefront allocators (exercised by the
+// quality tests).
+type freeQueueVCAllocator struct {
+	ports int
+	spec  VCSpec
+	v     int
+	name  string
+
+	// Per (output port, class): FIFO of free VC ids (global per-port local
+	// index) and the arbiter among requesting input VCs.
+	queues [][]int
+	arbs   []arbiter.Arbiter // width ports*v
+	inQ    []bool            // per (port, local vc): tracked as free
+
+	grants []int
+	reqVec *bitvec.Vec
+}
+
+// NewFreeQueueVCAllocator builds the free-VC-queue allocator.
+func NewFreeQueueVCAllocator(cfg VCAllocConfig) VCAllocator {
+	if cfg.Ports <= 0 {
+		panic("core: Ports must be positive")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		panic(err)
+	}
+	v := cfg.Spec.V()
+	a := &freeQueueVCAllocator{
+		ports:  cfg.Ports,
+		spec:   cfg.Spec,
+		v:      v,
+		name:   "freeq/" + cfg.ArbKind.String(),
+		grants: make([]int, cfg.Ports*v),
+		reqVec: bitvec.New(cfg.Ports * v),
+		inQ:    make([]bool, cfg.Ports*v),
+	}
+	classes := cfg.Spec.Classes()
+	for port := 0; port < cfg.Ports; port++ {
+		for cls := 0; cls < classes; cls++ {
+			q := make([]int, 0, cfg.Spec.VCsPerClass)
+			for c := 0; c < cfg.Spec.VCsPerClass; c++ {
+				vc := cls*cfg.Spec.VCsPerClass + c
+				q = append(q, vc)
+				a.inQ[port*v+vc] = true
+			}
+			a.queues = append(a.queues, q)
+			a.arbs = append(a.arbs, arbiter.New(cfg.ArbKind, cfg.Ports*v))
+		}
+	}
+	return a
+}
+
+func (a *freeQueueVCAllocator) Ports() int   { return a.ports }
+func (a *freeQueueVCAllocator) VCs() int     { return a.v }
+func (a *freeQueueVCAllocator) Name() string { return a.name }
+
+func (a *freeQueueVCAllocator) Reset() {
+	classes := a.spec.Classes()
+	for i := range a.inQ {
+		a.inQ[i] = false
+	}
+	for port := 0; port < a.ports; port++ {
+		for cls := 0; cls < classes; cls++ {
+			q := a.queues[port*classes+cls][:0]
+			for c := 0; c < a.spec.VCsPerClass; c++ {
+				vc := cls*a.spec.VCsPerClass + c
+				q = append(q, vc)
+				a.inQ[port*a.v+vc] = true
+			}
+			a.queues[port*classes+cls] = q
+			a.arbs[port*classes+cls].Reset()
+		}
+	}
+}
+
+func (a *freeQueueVCAllocator) qIndex(port, class int) int { return port*a.spec.Classes() + class }
+
+// noteFreed re-enqueues VCs the router reports as candidates but which the
+// allocator had handed out earlier: their packets released them.
+func (a *freeQueueVCAllocator) noteFreed(reqs []VCRequest) {
+	for _, r := range reqs {
+		if !r.Active || r.Candidates == nil {
+			continue
+		}
+		base := r.OutPort * a.v
+		r.Candidates.ForEach(func(c int) {
+			if !a.inQ[base+c] {
+				a.inQ[base+c] = true
+				cls := a.spec.ClassOf(c)
+				qi := a.qIndex(r.OutPort, cls)
+				a.queues[qi] = append(a.queues[qi], c)
+			}
+		})
+	}
+}
+
+func (a *freeQueueVCAllocator) Allocate(reqs []VCRequest) []int {
+	if len(reqs) != a.ports*a.v {
+		panic("core: request slice length mismatch")
+	}
+	for i := range a.grants {
+		a.grants[i] = -1
+	}
+	a.noteFreed(reqs)
+	classes := a.spec.Classes()
+	for port := 0; port < a.ports; port++ {
+		for cls := 0; cls < classes; cls++ {
+			qi := a.qIndex(port, cls)
+			q := a.queues[qi]
+			// Pop the oldest queued VC the router also reports free; stale
+			// entries (still occupied downstream) rotate to the back.
+			head := -1
+			for k := 0; k < len(q); k++ {
+				vc := q[k]
+				// A queued VC is grantable if at least one requester lists
+				// it as a candidate this cycle.
+				if a.anyCandidate(reqs, port, vc) {
+					head = k
+					break
+				}
+			}
+			if head < 0 {
+				continue
+			}
+			vc := q[head]
+			// Arbitrate among input VCs requesting (port, class); inputs
+			// already granted by another class queue this cycle are
+			// excluded to preserve the one-grant-per-requester invariant.
+			a.reqVec.Reset()
+			for gi, r := range reqs {
+				if a.grants[gi] < 0 && r.Active && r.OutPort == port && r.Candidates != nil && r.Candidates.Get(vc) {
+					a.reqVec.Set(gi)
+				}
+			}
+			winner := a.arbs[qi].Pick(a.reqVec)
+			if winner < 0 {
+				continue
+			}
+			a.grants[winner] = port*a.v + vc
+			a.arbs[qi].Update(winner)
+			a.queues[qi] = append(q[:head], q[head+1:]...)
+			a.inQ[port*a.v+vc] = false
+		}
+	}
+	return a.grants
+}
+
+func (a *freeQueueVCAllocator) anyCandidate(reqs []VCRequest, port, vc int) bool {
+	for _, r := range reqs {
+		if r.Active && r.OutPort == port && r.Candidates != nil && r.Candidates.Get(vc) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+package core
+
+import "fmt"
+
+// precomputedSwitch implements the arbitration pre-computation technique of
+// Mullins et al. [15] (paper related work, §1): the switch allocator
+// evaluates the *previous* cycle's requests, so its combinational work
+// overlaps the preceding pipeline stage and only a cheap validation remains
+// on the critical path. Grants whose underlying request disappeared or
+// changed output port in the meantime are aborted, wasting the crossbar
+// slot — the scheme trades request freshness for cycle time.
+//
+// Speculation is not combined with pre-computation (the speculative path's
+// whole point is same-cycle allocation), so construction requires SpecNone.
+type precomputedSwitch struct {
+	inner SwitchAllocator
+	name  string
+
+	prev     []SwitchRequest
+	havePrev bool
+	grants   []SwitchGrant
+
+	aborted int64
+	issued  int64
+}
+
+// NewPrecomputedSwitchAllocator wraps the configured base switch allocator
+// with request pre-computation. cfg.SpecMode must be SpecNone.
+func NewPrecomputedSwitchAllocator(cfg SwitchAllocConfig) SwitchAllocator {
+	if cfg.SpecMode != SpecNone {
+		panic("core: precomputed switch allocation cannot be combined with speculation")
+	}
+	cfg.Precomputed = false // build the plain base allocator
+	inner := NewSwitchAllocator(cfg)
+	return &precomputedSwitch{
+		inner:  inner,
+		name:   inner.Name() + "+precomp",
+		prev:   make([]SwitchRequest, cfg.Ports*cfg.VCs),
+		grants: make([]SwitchGrant, cfg.Ports),
+	}
+}
+
+func (a *precomputedSwitch) Ports() int   { return a.inner.Ports() }
+func (a *precomputedSwitch) VCs() int     { return a.inner.VCs() }
+func (a *precomputedSwitch) Name() string { return a.name }
+
+func (a *precomputedSwitch) Reset() {
+	a.inner.Reset()
+	a.havePrev = false
+	a.aborted, a.issued = 0, 0
+}
+
+// Stats implements SwitchAllocator; the inner allocator carries no
+// speculation, so only the wrapper's abort accounting is interesting (see
+// Aborted).
+func (a *precomputedSwitch) Stats() SwitchAllocStats { return a.inner.Stats() }
+
+// Aborted returns (grants issued on stale requests and validated away,
+// total grants the inner allocator produced).
+func (a *precomputedSwitch) Aborted() (aborted, issued int64) { return a.aborted, a.issued }
+
+func (a *precomputedSwitch) Allocate(reqs []SwitchRequest) []SwitchGrant {
+	if len(reqs) != len(a.prev) {
+		panic(fmt.Sprintf("core: %d switch requests, want %d", len(reqs), len(a.prev)))
+	}
+	v := a.inner.VCs()
+	for i := range a.grants {
+		a.grants[i] = SwitchGrant{VC: -1, OutPort: -1}
+	}
+	if a.havePrev {
+		for port, g := range a.inner.Allocate(a.prev) {
+			if g.OutPort < 0 {
+				continue
+			}
+			a.issued++
+			// Validation against the live requests: the flit must still be
+			// there and still want the same output.
+			r := reqs[port*v+g.VC]
+			if !r.Active || r.Spec || r.OutPort != g.OutPort {
+				a.aborted++
+				continue
+			}
+			a.grants[port] = g
+		}
+	}
+	copy(a.prev, reqs)
+	a.havePrev = true
+	return a.grants
+}

@@ -1,0 +1,519 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/arbiter"
+	"repro/internal/bitvec"
+)
+
+// SwitchRequest is one input VC's crossbar request for a given cycle.
+type SwitchRequest struct {
+	// Active indicates the VC has a flit ready to traverse the crossbar.
+	Active bool
+	// OutPort is the output port the flit must be switched to.
+	OutPort int
+	// Spec marks a speculative request: a head flit bidding for the
+	// crossbar in the same cycle it requests an output VC (§5.2). When the
+	// allocator was built with SpecNone, speculative requests are ignored.
+	Spec bool
+}
+
+// SwitchGrant is the per-input-port result of switch allocation.
+type SwitchGrant struct {
+	// VC is the winning VC at this input port, or -1 if the port received
+	// no grant.
+	VC int
+	// OutPort is the granted output port, or -1.
+	OutPort int
+	// Spec reports whether the grant was awarded to a speculative request.
+	Spec bool
+}
+
+// SpecMode selects the speculative switch allocation scheme.
+type SpecMode int
+
+const (
+	// SpecNone disables speculation: only non-speculative requests compete.
+	SpecNone SpecMode = iota
+	// SpecGnt is the conventional scheme of Peh & Dally (Fig. 9a):
+	// speculative grants are discarded when a non-speculative *grant* uses
+	// the same input or output port. Highest speculation efficiency, but
+	// the grant-reduction ORs and masking NOR/AND stages sit on the
+	// critical path.
+	SpecGnt
+	// SpecReq is the paper's pessimistic scheme (Fig. 9b): speculative
+	// grants are discarded when a conflicting non-speculative *request*
+	// exists, removing the reduction network from the critical path at the
+	// price of discarded speculation opportunities under load.
+	SpecReq
+)
+
+// String returns the identifier used in the paper's Fig. 14 legend.
+func (m SpecMode) String() string {
+	switch m {
+	case SpecNone:
+		return "nonspec"
+	case SpecGnt:
+		return "spec_gnt"
+	case SpecReq:
+		return "spec_req"
+	default:
+		return fmt.Sprintf("SpecMode(%d)", int(m))
+	}
+}
+
+// SwitchAllocConfig parameterizes switch allocator construction.
+type SwitchAllocConfig struct {
+	// Ports is the router radix P.
+	Ports int
+	// VCs is the number of VCs per input port V.
+	VCs int
+	// Arch selects the architecture: alloc.SepIF, alloc.SepOF or
+	// alloc.Wavefront (Fig. 8).
+	Arch alloc.Arch
+	// ArbKind selects the arbiter implementation for the separable stages
+	// and the wavefront pre-selection arbiters.
+	ArbKind arbiter.Kind
+	// SpecMode selects the speculation scheme.
+	SpecMode SpecMode
+	// Precomputed wraps the allocator with the arbitration pre-computation
+	// of Mullins et al. [15]: grants derive from the previous cycle's
+	// requests and stale grants are aborted. Requires SpecNone.
+	Precomputed bool
+}
+
+// SwitchAllocStats counts speculation outcomes since construction or the
+// last Reset; they quantify the speculation-efficiency trade-off of §5.2.
+type SwitchAllocStats struct {
+	// SpecProposals counts grants proposed by the speculative
+	// sub-allocator before conflict masking.
+	SpecProposals int64
+	// SpecMasked counts proposals discarded by the masking stage; the
+	// pessimistic scheme masks strictly more than the conventional one
+	// under load.
+	SpecMasked int64
+	// SpecGranted counts speculative grants that survived masking.
+	SpecGranted int64
+}
+
+// SwitchAllocator schedules buffered flits onto crossbar time slots subject
+// to the switch allocation constraints: at most one VC per input port and at
+// most one input port per output port receive grants (paper §5).
+type SwitchAllocator interface {
+	// Ports returns the router port count P.
+	Ports() int
+	// VCs returns the per-port VC count V.
+	VCs() int
+	// Allocate computes the crossbar schedule for one cycle. reqs is
+	// indexed by global input VC p·V+v and must have length P·V. The
+	// result, indexed by input port, is owned by the allocator and valid
+	// until the next call.
+	Allocate(reqs []SwitchRequest) []SwitchGrant
+	// Reset restores initial arbitration state and clears Stats.
+	Reset()
+	// Name returns the paper-style identifier, e.g. "sep_if/rr+spec_req".
+	Name() string
+	// Stats reports speculation outcome counters.
+	Stats() SwitchAllocStats
+}
+
+// NewSwitchAllocator builds a switch allocator.
+func NewSwitchAllocator(cfg SwitchAllocConfig) SwitchAllocator {
+	if cfg.Precomputed {
+		return NewPrecomputedSwitchAllocator(cfg)
+	}
+	if cfg.Ports <= 0 || cfg.VCs <= 0 {
+		panic("core: Ports and VCs must be positive")
+	}
+	name := cfg.Arch.String()
+	if cfg.Arch != alloc.Wavefront {
+		name += "/" + cfg.ArbKind.String()
+	} else {
+		name += "/rr"
+	}
+	name += "+" + cfg.SpecMode.String()
+	a := &switchAllocator{
+		cfg:      cfg,
+		name:     name,
+		nonspec:  newSwEngine(cfg),
+		grants:   make([]SwitchGrant, cfg.Ports),
+		nsReqIn:  bitvec.New(cfg.Ports),
+		nsReqOut: bitvec.New(cfg.Ports),
+		nsGntIn:  bitvec.New(cfg.Ports),
+		nsGntOut: bitvec.New(cfg.Ports),
+		accepted: make([]bool, cfg.Ports),
+	}
+	if cfg.SpecMode != SpecNone {
+		a.spec = newSwEngine(cfg)
+	}
+	return a
+}
+
+type switchAllocator struct {
+	cfg     SwitchAllocConfig
+	name    string
+	nonspec *swEngine
+	spec    *swEngine // nil when SpecNone
+	grants  []SwitchGrant
+
+	// Conflict-summary vectors corresponding to the reduction networks in
+	// Fig. 9: per-input-port and per-output-port presence of
+	// non-speculative requests (pessimistic scheme) or grants
+	// (conventional scheme).
+	nsReqIn, nsReqOut *bitvec.Vec
+	nsGntIn, nsGntOut *bitvec.Vec
+	accepted          []bool
+	stats             SwitchAllocStats
+}
+
+func (a *switchAllocator) Ports() int   { return a.cfg.Ports }
+func (a *switchAllocator) VCs() int     { return a.cfg.VCs }
+func (a *switchAllocator) Name() string { return a.name }
+
+func (a *switchAllocator) Reset() {
+	a.nonspec.reset()
+	if a.spec != nil {
+		a.spec.reset()
+	}
+	a.stats = SwitchAllocStats{}
+}
+
+func (a *switchAllocator) Stats() SwitchAllocStats { return a.stats }
+
+func (a *switchAllocator) Allocate(reqs []SwitchRequest) []SwitchGrant {
+	p, v := a.cfg.Ports, a.cfg.VCs
+	if len(reqs) != p*v {
+		panic(fmt.Sprintf("core: %d switch requests, want %d", len(reqs), p*v))
+	}
+	for i := range a.grants {
+		a.grants[i] = SwitchGrant{VC: -1, OutPort: -1}
+	}
+
+	// Non-speculative sub-allocator.
+	nsProps := a.nonspec.propose(reqs, false)
+	a.nsReqIn.Reset()
+	a.nsReqOut.Reset()
+	a.nsGntIn.Reset()
+	a.nsGntOut.Reset()
+	for port := 0; port < p; port++ {
+		for vc := 0; vc < v; vc++ {
+			r := reqs[port*v+vc]
+			if r.Active && !r.Spec {
+				a.nsReqIn.Set(port)
+				a.nsReqOut.Set(r.OutPort)
+			}
+		}
+	}
+	for port, prop := range nsProps {
+		a.accepted[port] = prop.outPort >= 0
+		if prop.outPort >= 0 {
+			a.grants[port] = SwitchGrant{VC: prop.vc, OutPort: prop.outPort}
+			a.nsGntIn.Set(port)
+			a.nsGntOut.Set(prop.outPort)
+		}
+	}
+	a.nonspec.commit(a.accepted)
+
+	if a.spec == nil {
+		return a.grants
+	}
+
+	// Speculative sub-allocator plus masking (Fig. 9).
+	spProps := a.spec.propose(reqs, true)
+	for port, prop := range spProps {
+		ok := prop.outPort >= 0
+		if ok {
+			a.stats.SpecProposals++
+			switch a.cfg.SpecMode {
+			case SpecGnt:
+				ok = !a.nsGntIn.Get(port) && !a.nsGntOut.Get(prop.outPort)
+			case SpecReq:
+				ok = !a.nsReqIn.Get(port) && !a.nsReqOut.Get(prop.outPort)
+			}
+			if !ok {
+				a.stats.SpecMasked++
+			} else {
+				a.stats.SpecGranted++
+			}
+		}
+		a.accepted[port] = ok
+		if ok {
+			a.grants[port] = SwitchGrant{VC: prop.vc, OutPort: prop.outPort, Spec: true}
+		}
+	}
+	a.spec.commit(a.accepted)
+	return a.grants
+}
+
+// swProposal is one input port's tentative grant before speculation masking.
+type swProposal struct {
+	vc, outPort int // -1 if none
+}
+
+// swEngine is a single switch-allocation datapath (Fig. 8) handling either
+// the speculative or the non-speculative request class. Priority state only
+// advances on commit, so masked speculative grants do not consume fairness
+// slots.
+type swEngine struct {
+	cfg    SwitchAllocConfig
+	vcArb  []arbiter.Arbiter // per input port, V wide
+	outArb []arbiter.Arbiter // per output port, P wide (separable archs)
+	wf     alloc.Allocator   // wavefront port allocator
+
+	props   []swProposal
+	vcReq   *bitvec.Vec // V wide
+	portReq *bitvec.Matrix
+	fwd     []*bitvec.Vec // per output port, P wide
+	offered []*bitvec.Vec // per input port, P wide (sep_of)
+	picks   []int         // per input port, VC pick (sep_if)
+	col     *bitvec.Vec   // P wide (sep_of stage 1)
+}
+
+func newSwEngine(cfg SwitchAllocConfig) *swEngine {
+	p, v := cfg.Ports, cfg.VCs
+	e := &swEngine{
+		cfg:     cfg,
+		vcArb:   make([]arbiter.Arbiter, p),
+		props:   make([]swProposal, p),
+		vcReq:   bitvec.New(v),
+		portReq: bitvec.NewMatrix(p, p),
+		picks:   make([]int, p),
+		col:     bitvec.New(p),
+	}
+	for i := range e.vcArb {
+		e.vcArb[i] = arbiter.New(cfg.ArbKind, v)
+	}
+	switch cfg.Arch {
+	case alloc.SepIF, alloc.SepOF:
+		e.outArb = make([]arbiter.Arbiter, p)
+		e.fwd = make([]*bitvec.Vec, p)
+		e.offered = make([]*bitvec.Vec, p)
+		for i := 0; i < p; i++ {
+			e.outArb[i] = arbiter.New(cfg.ArbKind, p)
+			e.fwd[i] = bitvec.New(p)
+			e.offered[i] = bitvec.New(p)
+		}
+	case alloc.Wavefront:
+		e.wf = alloc.NewWavefront(p, p)
+	case alloc.Maximum:
+		// Upper-bound configuration (§2.3): a maximum-size port matching
+		// with the wavefront datapath's VC pre-selection. Not realizable as
+		// single-cycle hardware; used to bound achievable performance.
+		e.wf = alloc.NewMaximum(p, p)
+	default:
+		panic(fmt.Sprintf("core: unsupported switch allocator arch %v", cfg.Arch))
+	}
+	return e
+}
+
+func (e *swEngine) reset() {
+	for _, a := range e.vcArb {
+		a.Reset()
+	}
+	for _, a := range e.outArb {
+		a.Reset()
+	}
+	if e.wf != nil {
+		e.wf.Reset()
+	}
+}
+
+// matches reports whether request r belongs to this proposal pass.
+func matches(r SwitchRequest, spec bool) bool { return r.Active && r.Spec == spec }
+
+// propose computes tentative grants for the given request class without
+// advancing any priority state.
+func (e *swEngine) propose(reqs []SwitchRequest, spec bool) []swProposal {
+	for i := range e.props {
+		e.props[i] = swProposal{vc: -1, outPort: -1}
+	}
+	switch e.cfg.Arch {
+	case alloc.SepIF:
+		e.proposeSepIF(reqs, spec)
+	case alloc.SepOF:
+		e.proposeSepOF(reqs, spec)
+	case alloc.Wavefront, alloc.Maximum:
+		e.proposeWavefront(reqs, spec)
+	}
+	return e.props
+}
+
+// proposeSepIF implements Fig. 8(a): a V-input arbiter per input port picks
+// the winning VC, whose single request is forwarded to a P-input arbiter at
+// the output port.
+func (e *swEngine) proposeSepIF(reqs []SwitchRequest, spec bool) {
+	p, v := e.cfg.Ports, e.cfg.VCs
+	for o := 0; o < p; o++ {
+		e.fwd[o].Reset()
+	}
+	for port := 0; port < p; port++ {
+		e.picks[port] = -1
+		e.vcReq.Reset()
+		for vc := 0; vc < v; vc++ {
+			if matches(reqs[port*v+vc], spec) {
+				e.vcReq.Set(vc)
+			}
+		}
+		w := e.vcArb[port].Pick(e.vcReq)
+		if w < 0 {
+			continue
+		}
+		e.picks[port] = w
+		e.fwd[reqs[port*v+w].OutPort].Set(port)
+	}
+	for o := 0; o < p; o++ {
+		if !e.fwd[o].Any() {
+			continue
+		}
+		winner := e.outArb[o].Pick(e.fwd[o])
+		if winner < 0 {
+			continue
+		}
+		e.props[winner] = swProposal{vc: e.picks[winner], outPort: o}
+	}
+}
+
+// proposeSepOF implements Fig. 8(b): requests from all VCs are combined and
+// forwarded; each output port picks an input port, then each input port
+// arbitrates among its VCs that can use one of the granted outputs.
+func (e *swEngine) proposeSepOF(reqs []SwitchRequest, spec bool) {
+	p, v := e.cfg.Ports, e.cfg.VCs
+	e.buildPortMatrix(reqs, spec)
+	for port := 0; port < p; port++ {
+		e.offered[port].Reset()
+	}
+	for o := 0; o < p; o++ {
+		e.col.Reset()
+		for port := 0; port < p; port++ {
+			if e.portReq.Get(port, o) {
+				e.col.Set(port)
+			}
+		}
+		if !e.col.Any() {
+			continue
+		}
+		winner := e.outArb[o].Pick(e.col)
+		if winner < 0 {
+			continue
+		}
+		e.offered[winner].Set(o)
+	}
+	for port := 0; port < p; port++ {
+		if !e.offered[port].Any() {
+			continue
+		}
+		// VC arbitration among VCs whose requested output was offered; the
+		// winning VC's port select drives the crossbar (Fig. 8b).
+		e.vcReq.Reset()
+		for vc := 0; vc < v; vc++ {
+			r := reqs[port*v+vc]
+			if matches(r, spec) && e.offered[port].Get(r.OutPort) {
+				e.vcReq.Set(vc)
+			}
+		}
+		w := e.vcArb[port].Pick(e.vcReq)
+		if w < 0 {
+			continue
+		}
+		e.props[port] = swProposal{vc: w, outPort: reqs[port*v+w].OutPort}
+	}
+}
+
+// proposeWavefront implements Fig. 8(c): a P×P wavefront block over the
+// combined port-request matrix, with per-input V-input arbiters selecting
+// the winning VC for the granted output.
+func (e *swEngine) proposeWavefront(reqs []SwitchRequest, spec bool) {
+	p, v := e.cfg.Ports, e.cfg.VCs
+	e.buildPortMatrix(reqs, spec)
+	g := e.wf.Allocate(e.portReq)
+	for port := 0; port < p; port++ {
+		o := -1
+		g.Row(port).ForEach(func(j int) { o = j })
+		if o < 0 {
+			continue
+		}
+		e.vcReq.Reset()
+		for vc := 0; vc < v; vc++ {
+			r := reqs[port*v+vc]
+			if matches(r, spec) && r.OutPort == o {
+				e.vcReq.Set(vc)
+			}
+		}
+		w := e.vcArb[port].Pick(e.vcReq)
+		if w < 0 {
+			continue
+		}
+		e.props[port] = swProposal{vc: w, outPort: o}
+	}
+}
+
+func (e *swEngine) buildPortMatrix(reqs []SwitchRequest, spec bool) {
+	p, v := e.cfg.Ports, e.cfg.VCs
+	e.portReq.Reset()
+	for port := 0; port < p; port++ {
+		for vc := 0; vc < v; vc++ {
+			r := reqs[port*v+vc]
+			if matches(r, spec) {
+				e.portReq.Set(port, r.OutPort)
+			}
+		}
+	}
+}
+
+// commit advances priority state for the input ports whose proposals were
+// accepted end to end.
+func (e *swEngine) commit(accepted []bool) {
+	for port, ok := range accepted {
+		if !ok {
+			continue
+		}
+		prop := e.props[port]
+		if prop.outPort < 0 {
+			continue
+		}
+		e.vcArb[port].Update(prop.vc)
+		if e.outArb != nil {
+			e.outArb[prop.outPort].Update(port)
+		}
+	}
+}
+
+// CheckSwitchGrants validates a switch allocation result: each granted VC
+// must have an active request for the granted output port, no output port
+// may be granted to two inputs, and speculative flags must be consistent
+// with the requests. It returns an error describing the first violation.
+func CheckSwitchGrants(p, v int, reqs []SwitchRequest, grants []SwitchGrant) error {
+	if len(grants) != p {
+		return fmt.Errorf("core: %d grants, want %d", len(grants), p)
+	}
+	usedOut := make(map[int]int)
+	for port, g := range grants {
+		if g.OutPort < 0 {
+			if g.VC >= 0 {
+				return fmt.Errorf("core: port %d has VC %d but no output", port, g.VC)
+			}
+			continue
+		}
+		if g.VC < 0 || g.VC >= v {
+			return fmt.Errorf("core: port %d granted invalid VC %d", port, g.VC)
+		}
+		r := reqs[port*v+g.VC]
+		if !r.Active {
+			return fmt.Errorf("core: port %d VC %d granted without request", port, g.VC)
+		}
+		if r.OutPort != g.OutPort {
+			return fmt.Errorf("core: port %d VC %d granted output %d, requested %d",
+				port, g.VC, g.OutPort, r.OutPort)
+		}
+		if r.Spec != g.Spec {
+			return fmt.Errorf("core: port %d VC %d speculative flag mismatch", port, g.VC)
+		}
+		if prev, dup := usedOut[g.OutPort]; dup {
+			return fmt.Errorf("core: output %d granted to ports %d and %d", g.OutPort, prev, port)
+		}
+		usedOut[g.OutPort] = port
+	}
+	return nil
+}

@@ -1,0 +1,547 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/arbiter"
+	"repro/internal/xrand"
+)
+
+func swConfigs(p, v int, mode SpecMode) []SwitchAllocConfig {
+	var cfgs []SwitchAllocConfig
+	for _, arch := range []alloc.Arch{alloc.SepIF, alloc.SepOF, alloc.Wavefront} {
+		cfgs = append(cfgs, SwitchAllocConfig{Ports: p, VCs: v, Arch: arch, ArbKind: arbiter.RoundRobin, SpecMode: mode})
+		if arch != alloc.Wavefront {
+			cfgs = append(cfgs, SwitchAllocConfig{Ports: p, VCs: v, Arch: arch, ArbKind: arbiter.Matrix, SpecMode: mode})
+		}
+	}
+	return cfgs
+}
+
+// randomSwitchRequests generates requests with the given activity rate and
+// speculative fraction.
+func randomSwitchRequests(rng *xrand.Source, p, v int, rate, specFrac float64) []SwitchRequest {
+	reqs := make([]SwitchRequest, p*v)
+	for i := range reqs {
+		if rng.Bool(rate) {
+			reqs[i] = SwitchRequest{Active: true, OutPort: rng.Intn(p), Spec: rng.Bool(specFrac)}
+		}
+	}
+	return reqs
+}
+
+func TestSpecModeString(t *testing.T) {
+	cases := map[SpecMode]string{SpecNone: "nonspec", SpecGnt: "spec_gnt", SpecReq: "spec_req"}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+	if SpecMode(9).String() == "" {
+		t.Error("unknown mode should render")
+	}
+}
+
+func TestSwitchAllocatorNames(t *testing.T) {
+	got := NewSwitchAllocator(SwitchAllocConfig{Ports: 5, VCs: 2, Arch: alloc.SepIF,
+		ArbKind: arbiter.RoundRobin, SpecMode: SpecReq}).Name()
+	if got != "sep_if/rr+spec_req" {
+		t.Fatalf("Name = %q", got)
+	}
+	got = NewSwitchAllocator(SwitchAllocConfig{Ports: 5, VCs: 2, Arch: alloc.Wavefront,
+		SpecMode: SpecNone}).Name()
+	if got != "wf/rr+nonspec" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestSwitchAllocatorBadConfigPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSwitchAllocator(SwitchAllocConfig{Ports: 0, VCs: 1}) },
+		func() { NewSwitchAllocator(SwitchAllocConfig{Ports: 2, VCs: 0}) },
+		func() { NewSwitchAllocator(SwitchAllocConfig{Ports: 2, VCs: 1, Arch: alloc.Arch(99)}) },
+		func() {
+			a := NewSwitchAllocator(SwitchAllocConfig{Ports: 2, VCs: 2, Arch: alloc.SepIF})
+			a.Allocate(make([]SwitchRequest, 3))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSwitchAllocatorEmpty(t *testing.T) {
+	for _, cfg := range swConfigs(5, 2, SpecReq) {
+		a := NewSwitchAllocator(cfg)
+		grants := a.Allocate(make([]SwitchRequest, 10))
+		for p, g := range grants {
+			if g.OutPort != -1 || g.VC != -1 {
+				t.Fatalf("%s: spurious grant at port %d: %+v", a.Name(), p, g)
+			}
+		}
+	}
+}
+
+func TestSwitchAllocatorSingleRequest(t *testing.T) {
+	for _, mode := range []SpecMode{SpecNone, SpecGnt, SpecReq} {
+		for _, cfg := range swConfigs(5, 2, mode) {
+			a := NewSwitchAllocator(cfg)
+			reqs := make([]SwitchRequest, 10)
+			reqs[3*2+1] = SwitchRequest{Active: true, OutPort: 4}
+			grants := a.Allocate(reqs)
+			g := grants[3]
+			if g.OutPort != 4 || g.VC != 1 || g.Spec {
+				t.Fatalf("%s: got %+v, want {VC:1 OutPort:4}", a.Name(), g)
+			}
+		}
+	}
+}
+
+func TestSwitchAllocatorValidityRandom(t *testing.T) {
+	for _, mode := range []SpecMode{SpecNone, SpecGnt, SpecReq} {
+		for _, cfg := range swConfigs(5, 4, mode) {
+			a := NewSwitchAllocator(cfg)
+			rng := xrand.New(uint64(73 + int(mode)))
+			for trial := 0; trial < 300; trial++ {
+				specFrac := 0.3
+				if mode == SpecNone {
+					specFrac = 0
+				}
+				reqs := randomSwitchRequests(rng, 5, 4, 0.4, specFrac)
+				grants := a.Allocate(reqs)
+				if err := CheckSwitchGrants(5, 4, reqs, grants); err != nil {
+					t.Fatalf("%s trial %d: %v", a.Name(), trial, err)
+				}
+			}
+		}
+	}
+}
+
+func TestSwitchNonConflictingAllGranted(t *testing.T) {
+	// A permutation of non-speculative requests must be fully granted.
+	for _, cfg := range swConfigs(5, 2, SpecNone) {
+		a := NewSwitchAllocator(cfg)
+		reqs := make([]SwitchRequest, 10)
+		for p := 0; p < 5; p++ {
+			reqs[p*2] = SwitchRequest{Active: true, OutPort: (p + 1) % 5}
+		}
+		grants := a.Allocate(reqs)
+		for p := 0; p < 5; p++ {
+			if grants[p].OutPort != (p+1)%5 {
+				t.Fatalf("%s: port %d grant %+v, want output %d", a.Name(), p, grants[p], (p+1)%5)
+			}
+		}
+	}
+}
+
+func TestSwitchOneVCPerPortConstraint(t *testing.T) {
+	// Even if every VC at a port requests a different free output, at most
+	// one VC per input port may win (paper §5.1).
+	for _, cfg := range swConfigs(5, 4, SpecNone) {
+		a := NewSwitchAllocator(cfg)
+		reqs := make([]SwitchRequest, 20)
+		for vc := 0; vc < 4; vc++ {
+			reqs[0*4+vc] = SwitchRequest{Active: true, OutPort: vc}
+		}
+		grants := a.Allocate(reqs)
+		if grants[0].OutPort < 0 {
+			t.Fatalf("%s: port with 4 requests received no grant", a.Name())
+		}
+		for p := 1; p < 5; p++ {
+			if grants[p].OutPort >= 0 {
+				t.Fatalf("%s: idle port %d received grant", a.Name(), p)
+			}
+		}
+	}
+}
+
+func TestSpeculativeGrantLowLoad(t *testing.T) {
+	// At zero load a lone speculative request must be granted under both
+	// speculative schemes and ignored by the non-speculative allocator.
+	for _, mode := range []SpecMode{SpecGnt, SpecReq} {
+		for _, cfg := range swConfigs(5, 2, mode) {
+			a := NewSwitchAllocator(cfg)
+			reqs := make([]SwitchRequest, 10)
+			reqs[1*2+0] = SwitchRequest{Active: true, OutPort: 3, Spec: true}
+			grants := a.Allocate(reqs)
+			g := grants[1]
+			if g.OutPort != 3 || !g.Spec {
+				t.Fatalf("%s: lone speculative request not granted: %+v", a.Name(), g)
+			}
+		}
+	}
+	a := NewSwitchAllocator(SwitchAllocConfig{Ports: 5, VCs: 2, Arch: alloc.SepIF, SpecMode: SpecNone})
+	reqs := make([]SwitchRequest, 10)
+	reqs[1*2+0] = SwitchRequest{Active: true, OutPort: 3, Spec: true}
+	if g := a.Allocate(reqs)[1]; g.OutPort != -1 {
+		t.Fatalf("nonspec allocator must ignore speculative requests, got %+v", g)
+	}
+}
+
+func TestNonSpecPriorityOverSpec(t *testing.T) {
+	// A speculative grant must never displace a non-speculative one on the
+	// same input or output port, under either masking scheme.
+	for _, mode := range []SpecMode{SpecGnt, SpecReq} {
+		for _, cfg := range swConfigs(4, 2, mode) {
+			a := NewSwitchAllocator(cfg)
+			// Port 0 nonspec -> output 2; port 1 spec -> output 2 (output
+			// conflict); port 2 has both spec and nonspec VCs (input
+			// conflict).
+			reqs := make([]SwitchRequest, 8)
+			reqs[0*2+0] = SwitchRequest{Active: true, OutPort: 2}
+			reqs[1*2+0] = SwitchRequest{Active: true, OutPort: 2, Spec: true}
+			reqs[2*2+0] = SwitchRequest{Active: true, OutPort: 3}
+			reqs[2*2+1] = SwitchRequest{Active: true, OutPort: 1, Spec: true}
+			for trial := 0; trial < 20; trial++ {
+				grants := a.Allocate(reqs)
+				if grants[0].OutPort != 2 || grants[0].Spec {
+					t.Fatalf("%s: nonspec request lost output 2: %+v", a.Name(), grants[0])
+				}
+				if grants[1].OutPort >= 0 {
+					t.Fatalf("%s: speculative grant on conflicted output: %+v", a.Name(), grants[1])
+				}
+				if grants[2].OutPort != 3 || grants[2].Spec {
+					t.Fatalf("%s: port 2 must grant its nonspec VC: %+v", a.Name(), grants[2])
+				}
+			}
+		}
+	}
+}
+
+func TestPessimisticMasksOnRequests(t *testing.T) {
+	// The distinguishing case (Fig. 9): a non-speculative REQUEST that does
+	// not win a grant still kills conflicting speculative grants under
+	// spec_req but not under spec_gnt.
+	//
+	// Ports 0 and 1 both issue nonspec requests to output 0 — only one can
+	// win. Port 2 issues a spec request to output 1 (no conflict; granted
+	// in both schemes). Port 3 issues a spec request to output 2; port 1
+	// ALSO has a nonspec request to output 2 queued at another VC. When
+	// port 1 loses output 0... its request to output 2 was also forwarded.
+	//
+	// Construct more directly: port 0 nonspec -> output 0. Port 1 spec ->
+	// output 0. Under spec_gnt port 1's spec grant is masked only because
+	// port 0 wins. Now make port 0's request lose: ports 0 and 2 both
+	// nonspec -> output 0; whoever loses still REQUESTED output 0, and a
+	// spec request from port 1 to output 0 is masked either way. The
+	// request-vs-grant difference shows on the INPUT side: port 0 has a
+	// nonspec VC requesting output 0 AND a spec VC requesting output 1.
+	// If port 0's nonspec request loses to port 2, then under spec_gnt the
+	// spec VC may still win output 1, but under spec_req the mere presence
+	// of the nonspec request at port 0 kills it.
+	mk := func(mode SpecMode) (SwitchAllocator, []SwitchRequest) {
+		a := NewSwitchAllocator(SwitchAllocConfig{Ports: 4, VCs: 2, Arch: alloc.SepIF,
+			ArbKind: arbiter.RoundRobin, SpecMode: mode})
+		reqs := make([]SwitchRequest, 8)
+		reqs[0*2+0] = SwitchRequest{Active: true, OutPort: 0}             // nonspec, contended
+		reqs[0*2+1] = SwitchRequest{Active: true, OutPort: 1, Spec: true} // spec, uncontended output
+		reqs[2*2+0] = SwitchRequest{Active: true, OutPort: 0}             // nonspec, contended
+		return a, reqs
+	}
+
+	// Under spec_req, port 0's speculative VC must never be granted while
+	// its nonspec VC has a pending request.
+	a, reqs := mk(SpecReq)
+	for trial := 0; trial < 10; trial++ {
+		grants := a.Allocate(reqs)
+		if grants[0].Spec {
+			t.Fatalf("spec_req: speculative grant despite nonspec request at same port: %+v", grants[0])
+		}
+	}
+
+	// Under spec_gnt, in the cycle where port 0's nonspec request loses
+	// output 0 to port 2, the speculative VC at port 0 may win output 1.
+	a, reqs = mk(SpecGnt)
+	sawSpecWin := false
+	for trial := 0; trial < 10; trial++ {
+		grants := a.Allocate(reqs)
+		if grants[0].Spec && grants[0].OutPort == 1 {
+			sawSpecWin = true
+		}
+	}
+	if !sawSpecWin {
+		t.Fatal("spec_gnt: expected speculative grant in cycles where the nonspec request loses")
+	}
+}
+
+func TestSpecGntGrantsAtLeastAsManyAsSpecReq(t *testing.T) {
+	// Aggregate: conventional speculation recovers more opportunities than
+	// the pessimistic scheme under load (paper §5.3.3).
+	p, v := 5, 4
+	mkReqs := func(rng *xrand.Source) []SwitchRequest {
+		return randomSwitchRequests(rng, p, v, 0.6, 0.4)
+	}
+	count := func(mode SpecMode) int {
+		a := NewSwitchAllocator(SwitchAllocConfig{Ports: p, VCs: v, Arch: alloc.SepIF,
+			ArbKind: arbiter.RoundRobin, SpecMode: mode})
+		rng := xrand.New(97)
+		total := 0
+		for trial := 0; trial < 2000; trial++ {
+			for _, g := range a.Allocate(mkReqs(rng)) {
+				if g.OutPort >= 0 {
+					total++
+				}
+			}
+		}
+		return total
+	}
+	gnt, req := count(SpecGnt), count(SpecReq)
+	if gnt <= req {
+		t.Fatalf("spec_gnt total grants (%d) should exceed spec_req (%d) under load", gnt, req)
+	}
+}
+
+func TestSwitchSepIFFlattensOut(t *testing.T) {
+	// Paper §5.3.2: sep_if propagates only one request per input port, so
+	// under saturation it grants fewer than wf.
+	p, v := 5, 4
+	count := func(arch alloc.Arch) int {
+		a := NewSwitchAllocator(SwitchAllocConfig{Ports: p, VCs: v, Arch: arch,
+			ArbKind: arbiter.RoundRobin, SpecMode: SpecNone})
+		rng := xrand.New(89)
+		total := 0
+		for trial := 0; trial < 2000; trial++ {
+			reqs := randomSwitchRequests(rng, p, v, 0.9, 0)
+			for _, g := range a.Allocate(reqs) {
+				if g.OutPort >= 0 {
+					total++
+				}
+			}
+		}
+		return total
+	}
+	sif, wf := count(alloc.SepIF), count(alloc.Wavefront)
+	if wf <= sif {
+		t.Fatalf("wavefront (%d) should out-grant sep_if (%d) at saturation", wf, sif)
+	}
+}
+
+func TestSwitchAllocatorFairness(t *testing.T) {
+	// Two ports contending for one output alternate under separable
+	// allocation; wavefront guarantees only absence of starvation.
+	for _, cfg := range swConfigs(3, 2, SpecNone) {
+		a := NewSwitchAllocator(cfg)
+		reqs := make([]SwitchRequest, 6)
+		reqs[0*2+0] = SwitchRequest{Active: true, OutPort: 2}
+		reqs[1*2+1] = SwitchRequest{Active: true, OutPort: 2}
+		counts := [2]int{}
+		for k := 0; k < 100; k++ {
+			grants := a.Allocate(reqs)
+			for p := 0; p < 2; p++ {
+				if grants[p].OutPort == 2 {
+					counts[p]++
+				}
+			}
+		}
+		if counts[0]+counts[1] != 100 {
+			t.Fatalf("%s: want one grant per cycle, got %v", a.Name(), counts)
+		}
+		min := 40
+		if cfg.Arch == alloc.Wavefront {
+			min = 10
+		}
+		if counts[0] < min || counts[1] < min {
+			t.Errorf("%s: unfair distribution %v", a.Name(), counts)
+		}
+	}
+}
+
+func TestSwitchVCLevelFairnessWithinPort(t *testing.T) {
+	// VCs within a port competing for the same output must share grants.
+	for _, cfg := range swConfigs(2, 4, SpecNone) {
+		a := NewSwitchAllocator(cfg)
+		reqs := make([]SwitchRequest, 8)
+		for vc := 0; vc < 4; vc++ {
+			reqs[vc] = SwitchRequest{Active: true, OutPort: 1}
+		}
+		counts := make([]int, 4)
+		for k := 0; k < 400; k++ {
+			g := a.Allocate(reqs)[0]
+			if g.VC < 0 {
+				t.Fatalf("%s: no grant", a.Name())
+			}
+			counts[g.VC]++
+		}
+		for vc, c := range counts {
+			if c != 100 {
+				t.Errorf("%s: VC %d granted %d/400, want 100", a.Name(), vc, c)
+			}
+		}
+	}
+}
+
+func TestSwitchAllocatorReset(t *testing.T) {
+	for _, mode := range []SpecMode{SpecNone, SpecReq} {
+		for _, cfg := range swConfigs(4, 2, mode) {
+			a := NewSwitchAllocator(cfg)
+			rng := xrand.New(83)
+			specFrac := 0.3
+			if mode == SpecNone {
+				specFrac = 0
+			}
+			reqs := randomSwitchRequests(rng, 4, 2, 0.8, specFrac)
+			first := append([]SwitchGrant(nil), a.Allocate(reqs)...)
+			a.Allocate(reqs)
+			a.Reset()
+			again := a.Allocate(reqs)
+			for i := range first {
+				if first[i] != again[i] {
+					t.Fatalf("%s: Reset did not restore initial decisions", a.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestCheckSwitchGrantsDetectsViolations(t *testing.T) {
+	reqs := make([]SwitchRequest, 4) // 2 ports, 2 VCs
+	reqs[0] = SwitchRequest{Active: true, OutPort: 1}
+	reqs[2] = SwitchRequest{Active: true, OutPort: 1}
+
+	if CheckSwitchGrants(2, 2, reqs, []SwitchGrant{{VC: -1, OutPort: -1}}) == nil {
+		t.Error("wrong grant count not detected")
+	}
+	bad := []SwitchGrant{{VC: 0, OutPort: 1}, {VC: 0, OutPort: 1}}
+	if CheckSwitchGrants(2, 2, reqs, bad) == nil {
+		t.Error("duplicate output not detected")
+	}
+	bad = []SwitchGrant{{VC: 1, OutPort: 1}, {VC: -1, OutPort: -1}}
+	if CheckSwitchGrants(2, 2, reqs, bad) == nil {
+		t.Error("grant without request not detected")
+	}
+	bad = []SwitchGrant{{VC: 0, OutPort: 0}, {VC: -1, OutPort: -1}}
+	if CheckSwitchGrants(2, 2, reqs, bad) == nil {
+		t.Error("wrong output port not detected")
+	}
+	bad = []SwitchGrant{{VC: 0, OutPort: 1, Spec: true}, {VC: -1, OutPort: -1}}
+	if CheckSwitchGrants(2, 2, reqs, bad) == nil {
+		t.Error("spec flag mismatch not detected")
+	}
+	bad = []SwitchGrant{{VC: 2, OutPort: 1}, {VC: -1, OutPort: -1}}
+	if CheckSwitchGrants(2, 2, reqs, bad) == nil {
+		t.Error("invalid VC not detected")
+	}
+	bad = []SwitchGrant{{VC: 0, OutPort: -1}, {VC: -1, OutPort: -1}}
+	if CheckSwitchGrants(2, 2, reqs, bad) == nil {
+		t.Error("VC without output not detected")
+	}
+	good := []SwitchGrant{{VC: 0, OutPort: 1}, {VC: -1, OutPort: -1}}
+	if err := CheckSwitchGrants(2, 2, reqs, good); err != nil {
+		t.Errorf("valid grants rejected: %v", err)
+	}
+}
+
+func BenchmarkSwitchMeshSepIFNonspec(b *testing.B) {
+	benchSwitch(b, 5, 8, alloc.SepIF, SpecNone)
+}
+func BenchmarkSwitchFbflyWavefrontSpecReq(b *testing.B) {
+	benchSwitch(b, 10, 16, alloc.Wavefront, SpecReq)
+}
+
+func benchSwitch(b *testing.B, p, v int, arch alloc.Arch, mode SpecMode) {
+	a := NewSwitchAllocator(SwitchAllocConfig{Ports: p, VCs: v, Arch: arch,
+		ArbKind: arbiter.RoundRobin, SpecMode: mode})
+	rng := xrand.New(1)
+	specFrac := 0.3
+	if mode == SpecNone {
+		specFrac = 0
+	}
+	reqs := randomSwitchRequests(rng, p, v, 0.5, specFrac)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Allocate(reqs)
+	}
+}
+
+func TestSwitchAllocStats(t *testing.T) {
+	a := NewSwitchAllocator(SwitchAllocConfig{Ports: 4, VCs: 2, Arch: alloc.SepIF,
+		ArbKind: arbiter.RoundRobin, SpecMode: SpecReq})
+	// Lone speculative request: proposed and granted, nothing masked.
+	reqs := make([]SwitchRequest, 8)
+	reqs[0] = SwitchRequest{Active: true, OutPort: 1, Spec: true}
+	a.Allocate(reqs)
+	s := a.Stats()
+	if s.SpecProposals != 1 || s.SpecGranted != 1 || s.SpecMasked != 0 {
+		t.Fatalf("lone spec request stats %+v", s)
+	}
+	// Conflicting nonspec request masks the speculative proposal.
+	reqs[1*2+0] = SwitchRequest{Active: true, OutPort: 1}
+	a.Allocate(reqs)
+	s = a.Stats()
+	if s.SpecProposals != 2 || s.SpecMasked != 1 {
+		t.Fatalf("masked spec request stats %+v", s)
+	}
+	a.Reset()
+	if a.Stats() != (SwitchAllocStats{}) {
+		t.Fatal("Reset must clear stats")
+	}
+}
+
+func TestPessimisticMasksMoreThanConventional(t *testing.T) {
+	// §5.3.3: near saturation the pessimistic variant discards a larger
+	// fraction of speculation opportunities than the conventional one.
+	masked := func(mode SpecMode) int64 {
+		a := NewSwitchAllocator(SwitchAllocConfig{Ports: 5, VCs: 4, Arch: alloc.SepIF,
+			ArbKind: arbiter.RoundRobin, SpecMode: mode})
+		rng := xrand.New(301)
+		for trial := 0; trial < 2000; trial++ {
+			a.Allocate(randomSwitchRequests(rng, 5, 4, 0.7, 0.4))
+		}
+		return a.Stats().SpecMasked
+	}
+	pessimistic, conventional := masked(SpecReq), masked(SpecGnt)
+	if pessimistic <= conventional {
+		t.Fatalf("spec_req masked %d, should exceed spec_gnt's %d under load",
+			pessimistic, conventional)
+	}
+}
+
+func TestNonspecAllocatorHasNoSpecStats(t *testing.T) {
+	a := NewSwitchAllocator(SwitchAllocConfig{Ports: 4, VCs: 2, Arch: alloc.SepIF,
+		ArbKind: arbiter.RoundRobin, SpecMode: SpecNone})
+	rng := xrand.New(1)
+	for trial := 0; trial < 100; trial++ {
+		a.Allocate(randomSwitchRequests(rng, 4, 2, 0.5, 0))
+	}
+	if a.Stats() != (SwitchAllocStats{}) {
+		t.Fatalf("nonspec allocator recorded spec stats: %+v", a.Stats())
+	}
+}
+
+func TestMaximumSwitchAllocatorBound(t *testing.T) {
+	// The maximum-size configuration (§2.3) bounds every practical
+	// allocator's grant count on identical request streams.
+	p, v := 5, 4
+	count := func(arch alloc.Arch) int {
+		a := NewSwitchAllocator(SwitchAllocConfig{Ports: p, VCs: v, Arch: arch,
+			ArbKind: arbiter.RoundRobin, SpecMode: SpecNone})
+		rng := xrand.New(701)
+		total := 0
+		for trial := 0; trial < 1500; trial++ {
+			reqs := randomSwitchRequests(rng, p, v, 0.7, 0)
+			grants := a.Allocate(reqs)
+			if err := CheckSwitchGrants(p, v, reqs, grants); err != nil {
+				t.Fatalf("%v: %v", arch, err)
+			}
+			for _, g := range grants {
+				if g.OutPort >= 0 {
+					total++
+				}
+			}
+		}
+		return total
+	}
+	max := count(alloc.Maximum)
+	for _, arch := range []alloc.Arch{alloc.SepIF, alloc.SepOF, alloc.Wavefront} {
+		if got := count(arch); got > max {
+			t.Errorf("%v granted %d > maximum bound %d", arch, got, max)
+		}
+	}
+}

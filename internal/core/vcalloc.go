@@ -1,0 +1,395 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/arbiter"
+	"repro/internal/bitvec"
+)
+
+// VCRequest is one input VC's request to the VC allocator for a given cycle.
+// A request is issued on behalf of the head flit buffered at the input VC:
+// it names the output port selected by the routing function and the set of
+// candidate output VCs at that port (already masked by routing legality and
+// downstream availability).
+type VCRequest struct {
+	// Active indicates a head flit is waiting for an output VC.
+	Active bool
+	// OutPort is the output port selected by the routing function.
+	OutPort int
+	// Candidates selects the output VCs at OutPort that may be assigned.
+	// Its width is the router's V. Inactive requests may leave it nil.
+	Candidates *bitvec.Vec
+}
+
+// VCAllocator assigns output VCs to requesting input VCs, at most one output
+// VC per input VC and at most one input VC per output VC (paper §4).
+type VCAllocator interface {
+	// Ports returns the router port count P.
+	Ports() int
+	// VCs returns the per-port VC count V.
+	VCs() int
+	// Allocate computes a VC assignment for one cycle. reqs is indexed by
+	// global input VC p·V+v and must have length P·V. The returned slice,
+	// also indexed by global input VC, holds the granted global output VC
+	// (o·V+v') or -1; it is owned by the allocator and valid until the next
+	// call.
+	Allocate(reqs []VCRequest) []int
+	// Reset restores initial arbitration state.
+	Reset()
+	// Name returns the paper-style identifier, e.g. "sep_if/rr" or
+	// "wf/rr (sparse)".
+	Name() string
+}
+
+// VCAllocConfig parameterizes VC allocator construction.
+type VCAllocConfig struct {
+	// Ports is the router radix P.
+	Ports int
+	// Spec describes the VC organization (V = M·R·C).
+	Spec VCSpec
+	// Arch selects the allocator architecture: alloc.SepIF, alloc.SepOF or
+	// alloc.Wavefront.
+	Arch alloc.Arch
+	// ArbKind selects the arbiter implementation for separable
+	// architectures.
+	ArbKind arbiter.Kind
+	// Sparse enables the sparse VC allocation scheme of §4.2: the allocator
+	// is partitioned into one independent sub-allocator per message class.
+	Sparse bool
+	// FreeQueue selects the free-VC-queue scheme of Mullins et al. [15]
+	// instead of a matching allocator: one FIFO of free VCs per
+	// (port, class), a single arbitration per queue per cycle. Arch and
+	// Sparse are ignored when set.
+	FreeQueue bool
+}
+
+// NewVCAllocator builds a VC allocator.
+func NewVCAllocator(cfg VCAllocConfig) VCAllocator {
+	if cfg.FreeQueue {
+		return NewFreeQueueVCAllocator(cfg)
+	}
+	if cfg.Ports <= 0 {
+		panic("core: Ports must be positive")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		panic(err)
+	}
+	v := cfg.Spec.V()
+	name := cfg.Arch.String()
+	if cfg.Arch != alloc.Wavefront {
+		name += "/" + cfg.ArbKind.String()
+	} else {
+		name += "/rr"
+	}
+	a := &vcAllocator{
+		ports: cfg.Ports,
+		v:     v,
+		name:  name,
+	}
+	if cfg.Sparse {
+		a.name += " (sparse)"
+		perClass := cfg.Spec.ResourceClasses * cfg.Spec.VCsPerClass
+		for m := 0; m < cfg.Spec.MessageClasses; m++ {
+			a.engines = append(a.engines, newVCEngine(cfg, m*perClass, perClass))
+		}
+	} else {
+		a.engines = append(a.engines, newVCEngine(cfg, 0, v))
+	}
+	a.grants = make([]int, cfg.Ports*v)
+	return a
+}
+
+// vcAllocator dispatches requests to one engine (dense) or one engine per
+// message class (sparse). Because packets never change message class, the
+// sparse decomposition loses no matching opportunities (paper §4.2).
+type vcAllocator struct {
+	ports, v int
+	name     string
+	engines  []*vcEngine
+	grants   []int
+}
+
+func (a *vcAllocator) Ports() int   { return a.ports }
+func (a *vcAllocator) VCs() int     { return a.v }
+func (a *vcAllocator) Name() string { return a.name }
+
+func (a *vcAllocator) Reset() {
+	for _, e := range a.engines {
+		e.reset()
+	}
+}
+
+func (a *vcAllocator) Allocate(reqs []VCRequest) []int {
+	if len(reqs) != a.ports*a.v {
+		panic(fmt.Sprintf("core: %d VC requests, want %d", len(reqs), a.ports*a.v))
+	}
+	for i := range a.grants {
+		a.grants[i] = -1
+	}
+	for _, e := range a.engines {
+		e.allocate(reqs, a.grants)
+	}
+	return a.grants
+}
+
+// vcEngine performs VC allocation over the VC index range [off, off+w) at
+// every port. A dense allocator uses a single engine covering all V VCs; the
+// sparse scheme instantiates one engine per message class.
+type vcEngine struct {
+	cfg    VCAllocConfig
+	off, w int
+
+	arch alloc.Arch
+
+	// Separable state. Input arbiters select among the w candidate output
+	// VCs of an input VC; output arbiters select among the P·w input VCs of
+	// this engine bidding for an output VC. Output-side arbitration uses
+	// tree arbiters (a stage of w-input arbiters under a P-input arbiter),
+	// matching the structure suggested in §4.1.
+	inArb  []arbiter.Arbiter // per input VC in range, width w
+	outArb []arbiter.Arbiter // per output VC in range, width P·w
+
+	// Wavefront state.
+	wf    alloc.Allocator
+	wfReq *bitvec.Matrix
+
+	// Scratch.
+	cand   *bitvec.Vec   // w wide
+	bids   []*bitvec.Vec // per output VC in range, P·w wide (sep_if stage 2)
+	bidVC  []int         // per input VC in range: chosen local candidate (sep_if)
+	offers []*bitvec.Vec // per input VC in range, w wide (sep_of stage 2)
+	outReq *bitvec.Vec   // P·w wide (sep_of stage 1)
+}
+
+func newVCEngine(cfg VCAllocConfig, off, w int) *vcEngine {
+	p := cfg.Ports
+	e := &vcEngine{cfg: cfg, off: off, w: w, arch: cfg.Arch}
+	switch cfg.Arch {
+	case alloc.SepIF:
+		e.inArb = make([]arbiter.Arbiter, p*w)
+		e.outArb = make([]arbiter.Arbiter, p*w)
+		e.bids = make([]*bitvec.Vec, p*w)
+		e.bidVC = make([]int, p*w)
+		for i := range e.inArb {
+			e.inArb[i] = arbiter.New(cfg.ArbKind, w)
+			e.outArb[i] = arbiter.NewTree(cfg.ArbKind, p, w)
+			e.bids[i] = bitvec.New(p * w)
+		}
+	case alloc.SepOF:
+		e.inArb = make([]arbiter.Arbiter, p*w)
+		e.outArb = make([]arbiter.Arbiter, p*w)
+		e.offers = make([]*bitvec.Vec, p*w)
+		for i := range e.inArb {
+			e.inArb[i] = arbiter.New(cfg.ArbKind, w)
+			e.outArb[i] = arbiter.NewTree(cfg.ArbKind, p, w)
+			e.offers[i] = bitvec.New(w)
+		}
+		e.outReq = bitvec.New(p * w)
+	case alloc.Wavefront:
+		e.wf = alloc.NewWavefront(p*w, p*w)
+		e.wfReq = bitvec.NewMatrix(p*w, p*w)
+	default:
+		panic(fmt.Sprintf("core: unsupported VC allocator arch %v", cfg.Arch))
+	}
+	e.cand = bitvec.New(w)
+	return e
+}
+
+func (e *vcEngine) reset() {
+	for _, a := range e.inArb {
+		a.Reset()
+	}
+	for _, a := range e.outArb {
+		a.Reset()
+	}
+	if e.wf != nil {
+		e.wf.Reset()
+	}
+}
+
+// inRange reports whether the request's candidates intersect this engine's
+// VC range, loading the compact candidate vector into e.cand.
+func (e *vcEngine) loadCandidates(r VCRequest) bool {
+	if !r.Active || r.Candidates == nil {
+		return false
+	}
+	e.cand.Reset()
+	any := false
+	for c := 0; c < e.w; c++ {
+		if r.Candidates.Get(e.off + c) {
+			e.cand.Set(c)
+			any = true
+		}
+	}
+	return any
+}
+
+// local index helpers: engine-local input/output VC index is p·w + (v-off).
+func (e *vcEngine) local(p, v int) int      { return p*e.w + (v - e.off) }
+func (e *vcEngine) global(l int) (p, v int) { return l / e.w, e.off + l%e.w }
+
+func (e *vcEngine) allocate(reqs []VCRequest, grants []int) {
+	switch e.arch {
+	case alloc.SepIF:
+		e.allocateSepIF(reqs, grants)
+	case alloc.SepOF:
+		e.allocateSepOF(reqs, grants)
+	case alloc.Wavefront:
+		e.allocateWavefront(reqs, grants)
+	}
+}
+
+// allocateSepIF implements Fig. 3(a): each input VC first arbitrates among
+// its candidate output VCs, then each output VC arbitrates among incoming
+// bids with a P·w-input tree arbiter. Input arbiters update priority only
+// when the bid wins output arbitration.
+func (e *vcEngine) allocateSepIF(reqs []VCRequest, grants []int) {
+	p, v := e.cfg.Ports, e.cfg.Spec.V()
+	for i := range e.bids {
+		e.bids[i].Reset()
+	}
+	// Stage 1: input-side arbitration.
+	for port := 0; port < p; port++ {
+		for vc := e.off; vc < e.off+e.w; vc++ {
+			gi := port*v + vc
+			li := e.local(port, vc)
+			e.bidVC[li] = -1
+			r := reqs[gi]
+			if !e.loadCandidates(r) {
+				continue
+			}
+			c := e.inArb[li].Pick(e.cand)
+			if c < 0 {
+				continue
+			}
+			e.bidVC[li] = c
+			e.bids[r.OutPort*e.w+c].Set(li)
+		}
+	}
+	// Stage 2: output-side arbitration.
+	for lo := range e.bids {
+		if !e.bids[lo].Any() {
+			continue
+		}
+		winner := e.outArb[lo].Pick(e.bids[lo])
+		if winner < 0 {
+			continue
+		}
+		wp, wv := e.global(winner)
+		oPort, oc := lo/e.w, lo%e.w
+		grants[wp*v+wv] = oPort*v + (e.off + oc)
+		e.outArb[lo].Update(winner)
+		e.inArb[winner].Update(e.bidVC[winner])
+	}
+}
+
+// allocateSepOF implements Fig. 3(b): each output VC first arbitrates among
+// all requesting input VCs, then each input VC that received one or more
+// offers picks a winner. Output arbiters update priority only when their
+// offer is accepted.
+func (e *vcEngine) allocateSepOF(reqs []VCRequest, grants []int) {
+	p, v := e.cfg.Ports, e.cfg.Spec.V()
+	for i := range e.offers {
+		e.offers[i].Reset()
+	}
+	// Stage 1: output-side arbitration at every output VC.
+	for oPort := 0; oPort < p; oPort++ {
+		for oc := 0; oc < e.w; oc++ {
+			lo := oPort*e.w + oc
+			e.outReq.Reset()
+			for port := 0; port < p; port++ {
+				for vc := e.off; vc < e.off+e.w; vc++ {
+					r := reqs[port*v+vc]
+					if r.Active && r.OutPort == oPort && r.Candidates != nil && r.Candidates.Get(e.off+oc) {
+						e.outReq.Set(e.local(port, vc))
+					}
+				}
+			}
+			if !e.outReq.Any() {
+				continue
+			}
+			winner := e.outArb[lo].Pick(e.outReq)
+			if winner < 0 {
+				continue
+			}
+			e.offers[winner].Set(oc)
+		}
+	}
+	// Stage 2: input-side arbitration among offered output VCs.
+	for port := 0; port < p; port++ {
+		for vc := e.off; vc < e.off+e.w; vc++ {
+			li := e.local(port, vc)
+			if !e.offers[li].Any() {
+				continue
+			}
+			c := e.inArb[li].Pick(e.offers[li])
+			if c < 0 {
+				continue
+			}
+			oPort := reqs[port*v+vc].OutPort
+			grants[port*v+vc] = oPort*v + (e.off + c)
+			e.inArb[li].Update(c)
+			e.outArb[oPort*e.w+c].Update(li)
+		}
+	}
+}
+
+// allocateWavefront implements Fig. 3(c): a (P·w)×(P·w) wavefront allocator
+// over the full request matrix.
+func (e *vcEngine) allocateWavefront(reqs []VCRequest, grants []int) {
+	p, v := e.cfg.Ports, e.cfg.Spec.V()
+	e.wfReq.Reset()
+	for port := 0; port < p; port++ {
+		for vc := e.off; vc < e.off+e.w; vc++ {
+			r := reqs[port*v+vc]
+			if !e.loadCandidates(r) {
+				continue
+			}
+			row := e.local(port, vc)
+			base := r.OutPort * e.w
+			e.cand.ForEach(func(c int) {
+				e.wfReq.Set(row, base+c)
+			})
+		}
+	}
+	g := e.wf.Allocate(e.wfReq)
+	for row := 0; row < p*e.w; row++ {
+		g.Row(row).ForEach(func(col int) {
+			ip, iv := e.global(row)
+			oPort, oc := col/e.w, col%e.w
+			grants[ip*v+iv] = oPort*v + (e.off + oc)
+		})
+	}
+}
+
+// CheckVCGrants validates a VC allocation result against its requests:
+// every grant must correspond to an active request, name a candidate output
+// VC at the requested port, and no output VC may be granted twice. It
+// returns an error describing the first violation found.
+func CheckVCGrants(p int, spec VCSpec, reqs []VCRequest, grants []int) error {
+	v := spec.V()
+	seen := make(map[int]int)
+	for gi, g := range grants {
+		if g < 0 {
+			continue
+		}
+		r := reqs[gi]
+		if !r.Active {
+			return fmt.Errorf("core: grant %d to inactive input VC %d", g, gi)
+		}
+		oPort, ovc := g/v, g%v
+		if oPort != r.OutPort {
+			return fmt.Errorf("core: input VC %d granted port %d, requested %d", gi, oPort, r.OutPort)
+		}
+		if r.Candidates == nil || !r.Candidates.Get(ovc) {
+			return fmt.Errorf("core: input VC %d granted non-candidate output VC %d", gi, ovc)
+		}
+		if prev, dup := seen[g]; dup {
+			return fmt.Errorf("core: output VC %d granted to both input VC %d and %d", g, prev, gi)
+		}
+		seen[g] = gi
+	}
+	return nil
+}

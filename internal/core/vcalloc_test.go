@@ -1,0 +1,441 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/arbiter"
+	"repro/internal/bitvec"
+	"repro/internal/xrand"
+)
+
+func vcConfigs(p int, spec VCSpec) []VCAllocConfig {
+	var cfgs []VCAllocConfig
+	for _, arch := range []alloc.Arch{alloc.SepIF, alloc.SepOF, alloc.Wavefront} {
+		for _, sparse := range []bool{false, true} {
+			cfg := VCAllocConfig{Ports: p, Spec: spec, Arch: arch, ArbKind: arbiter.RoundRobin, Sparse: sparse}
+			cfgs = append(cfgs, cfg)
+			if arch != alloc.Wavefront {
+				cfgM := cfg
+				cfgM.ArbKind = arbiter.Matrix
+				cfgs = append(cfgs, cfgM)
+			}
+		}
+	}
+	return cfgs
+}
+
+// randomVCRequests generates a legal request set: each input VC is active
+// with probability rate, targets a random output port, and requests a
+// random legal class at that port (all VCs in the class, per §4.2's "select
+// the class as a whole"), optionally thinned by availability.
+func randomVCRequests(rng *xrand.Source, p int, spec VCSpec, rate float64) []VCRequest {
+	v := spec.V()
+	reqs := make([]VCRequest, p*v)
+	for port := 0; port < p; port++ {
+		for vc := 0; vc < v; vc++ {
+			if !rng.Bool(rate) {
+				continue
+			}
+			m, r, _ := spec.Decompose(vc)
+			succ := spec.ResourceSucc[r]
+			nr := succ[rng.Intn(len(succ))]
+			reqs[port*v+vc] = VCRequest{
+				Active:     true,
+				OutPort:    rng.Intn(p),
+				Candidates: spec.ClassMask(m, nr),
+			}
+		}
+	}
+	return reqs
+}
+
+func TestVCAllocatorNames(t *testing.T) {
+	spec := NewVCSpec(2, 1, 2)
+	want := map[string]bool{
+		"sep_if/rr": true, "sep_if/m": true, "sep_of/rr": true, "sep_of/m": true,
+		"wf/rr": true, "sep_if/rr (sparse)": true, "sep_if/m (sparse)": true,
+		"sep_of/rr (sparse)": true, "sep_of/m (sparse)": true, "wf/rr (sparse)": true,
+	}
+	for _, cfg := range vcConfigs(5, spec) {
+		a := NewVCAllocator(cfg)
+		if !want[a.Name()] {
+			t.Errorf("unexpected name %q", a.Name())
+		}
+		if a.Ports() != 5 || a.VCs() != 4 {
+			t.Errorf("%s: wrong dims %d/%d", a.Name(), a.Ports(), a.VCs())
+		}
+	}
+}
+
+func TestVCAllocatorBadConfigPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewVCAllocator(VCAllocConfig{Ports: 0, Spec: NewVCSpec(1, 1, 1)}) },
+		func() { NewVCAllocator(VCAllocConfig{Ports: 2, Spec: VCSpec{}}) },
+		func() {
+			NewVCAllocator(VCAllocConfig{Ports: 2, Spec: NewVCSpec(1, 1, 1), Arch: alloc.Maximum})
+		},
+		func() {
+			a := NewVCAllocator(VCAllocConfig{Ports: 2, Spec: NewVCSpec(1, 1, 1), Arch: alloc.SepIF})
+			a.Allocate(make([]VCRequest, 3))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestVCAllocatorEmpty(t *testing.T) {
+	spec := NewVCSpec(2, 1, 2)
+	for _, cfg := range vcConfigs(5, spec) {
+		a := NewVCAllocator(cfg)
+		grants := a.Allocate(make([]VCRequest, 5*spec.V()))
+		for i, g := range grants {
+			if g != -1 {
+				t.Fatalf("%s: grant %d for inactive input %d", a.Name(), g, i)
+			}
+		}
+	}
+}
+
+func TestVCAllocatorSingleRequest(t *testing.T) {
+	spec := NewVCSpec(2, 1, 2)
+	v := spec.V()
+	for _, cfg := range vcConfigs(5, spec) {
+		a := NewVCAllocator(cfg)
+		reqs := make([]VCRequest, 5*v)
+		// Input VC (port 2, vc 1: message class 0) requests port 4, class (0,0).
+		reqs[2*v+1] = VCRequest{Active: true, OutPort: 4, Candidates: spec.ClassMask(0, 0)}
+		grants := a.Allocate(reqs)
+		g := grants[2*v+1]
+		if g < 0 {
+			t.Fatalf("%s: sole request not granted", a.Name())
+		}
+		if g/v != 4 {
+			t.Fatalf("%s: granted port %d, want 4", a.Name(), g/v)
+		}
+		if !spec.ClassMask(0, 0).Get(g % v) {
+			t.Fatalf("%s: granted VC %d outside requested class", a.Name(), g%v)
+		}
+		if err := CheckVCGrants(5, spec, reqs, grants); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+	}
+}
+
+func TestVCAllocatorValidityRandom(t *testing.T) {
+	for _, spec := range []VCSpec{NewVCSpec(2, 1, 2), NewVCSpec(2, 2, 2)} {
+		for _, cfg := range vcConfigs(5, spec) {
+			a := NewVCAllocator(cfg)
+			rng := xrand.New(41)
+			for trial := 0; trial < 200; trial++ {
+				reqs := randomVCRequests(rng, 5, spec, 0.4)
+				grants := a.Allocate(reqs)
+				if err := CheckVCGrants(5, spec, reqs, grants); err != nil {
+					t.Fatalf("%s %s trial %d: %v", a.Name(), spec, trial, err)
+				}
+			}
+		}
+	}
+}
+
+func TestVCAllocatorGrantsRespectTransitions(t *testing.T) {
+	// When requests are built from successor masks, grants stay legal.
+	spec := NewVCSpec(2, 2, 2)
+	v := spec.V()
+	for _, cfg := range vcConfigs(4, spec) {
+		a := NewVCAllocator(cfg)
+		rng := xrand.New(43)
+		for trial := 0; trial < 100; trial++ {
+			reqs := make([]VCRequest, 4*v)
+			for port := 0; port < 4; port++ {
+				for vc := 0; vc < v; vc++ {
+					if rng.Bool(0.5) {
+						reqs[port*v+vc] = VCRequest{
+							Active:     true,
+							OutPort:    rng.Intn(4),
+							Candidates: spec.SuccessorMask(vc),
+						}
+					}
+				}
+			}
+			grants := a.Allocate(reqs)
+			for gi, g := range grants {
+				if g < 0 {
+					continue
+				}
+				if !spec.LegalTransition(gi%v, g%v) {
+					t.Fatalf("%s: illegal transition %d -> %d granted", a.Name(), gi%v, g%v)
+				}
+			}
+		}
+	}
+}
+
+func TestVCWavefrontMaximumQuality(t *testing.T) {
+	// Paper §4.3.2: the wavefront VC allocator always achieves matching
+	// quality 1 — it grants as many requests per class conflict as VCs
+	// are available.
+	spec := NewVCSpec(2, 1, 2)
+	v := spec.V()
+	p := 5
+	wf := NewVCAllocator(VCAllocConfig{Ports: p, Spec: spec, Arch: alloc.Wavefront})
+	rng := xrand.New(47)
+	for trial := 0; trial < 300; trial++ {
+		reqs := randomVCRequests(rng, p, spec, 0.6)
+		grants := wf.Allocate(reqs)
+		got := 0
+		for _, g := range grants {
+			if g >= 0 {
+				got++
+			}
+		}
+		// Build the equivalent bipartite request matrix and compare to the
+		// maximum matching.
+		req := bitvec.NewMatrix(p*v, p*v)
+		for gi, r := range reqs {
+			if !r.Active {
+				continue
+			}
+			r.Candidates.ForEach(func(c int) {
+				req.Set(gi, r.OutPort*v+c)
+			})
+		}
+		want := alloc.MatchSize(req)
+		if got != want {
+			t.Fatalf("trial %d: wavefront granted %d, maximum %d", trial, got, want)
+		}
+	}
+}
+
+func TestVCSingleVCPerClassAllMaximum(t *testing.T) {
+	// Paper §4.3.2 / Fig. 7(a),(d): with one VC per class every
+	// architecture produces maximum matchings.
+	spec := NewVCSpec(2, 1, 1)
+	v := spec.V()
+	p := 5
+	rng := xrand.New(53)
+	for _, cfg := range vcConfigs(p, spec) {
+		a := NewVCAllocator(cfg)
+		for trial := 0; trial < 200; trial++ {
+			reqs := randomVCRequests(rng, p, spec, 0.7)
+			grants := a.Allocate(reqs)
+			got := 0
+			for _, g := range grants {
+				if g >= 0 {
+					got++
+				}
+			}
+			req := bitvec.NewMatrix(p*v, p*v)
+			for gi, r := range reqs {
+				if !r.Active {
+					continue
+				}
+				r.Candidates.ForEach(func(c int) { req.Set(gi, r.OutPort*v+c) })
+			}
+			if want := alloc.MatchSize(req); got != want {
+				t.Fatalf("%s trial %d: granted %d, maximum %d", a.Name(), trial, got, want)
+			}
+		}
+	}
+}
+
+func TestVCSparseMatchesDenseGrantCountsWavefront(t *testing.T) {
+	// For the wavefront architecture, sparse and dense allocators are both
+	// maximal per message class, so their grant counts agree on every
+	// legal request set.
+	spec := NewVCSpec(2, 2, 2)
+	p := 4
+	dense := NewVCAllocator(VCAllocConfig{Ports: p, Spec: spec, Arch: alloc.Wavefront})
+	sparse := NewVCAllocator(VCAllocConfig{Ports: p, Spec: spec, Arch: alloc.Wavefront, Sparse: true})
+	rng := xrand.New(59)
+	for trial := 0; trial < 300; trial++ {
+		reqs := randomVCRequests(rng, p, spec, 0.5)
+		gd, gs := 0, 0
+		for _, g := range dense.Allocate(reqs) {
+			if g >= 0 {
+				gd++
+			}
+		}
+		for _, g := range sparse.Allocate(reqs) {
+			if g >= 0 {
+				gs++
+			}
+		}
+		if gd != gs {
+			t.Fatalf("trial %d: dense %d grants, sparse %d", trial, gd, gs)
+		}
+	}
+}
+
+func TestVCSeparableLockoutExists(t *testing.T) {
+	// Paper §4.3.2: separable allocators can leave output VCs unused in
+	// the presence of conflicts. Craft the canonical lockout: two input
+	// VCs at different ports request the same 2-VC class; with sep_if both
+	// may pick the same output VC. Verify that over many random trials
+	// sep_if grants strictly fewer total than wavefront at high load.
+	spec := NewVCSpec(1, 1, 4)
+	p := 5
+	sif := NewVCAllocator(VCAllocConfig{Ports: p, Spec: spec, Arch: alloc.SepIF, ArbKind: arbiter.RoundRobin})
+	wf := NewVCAllocator(VCAllocConfig{Ports: p, Spec: spec, Arch: alloc.Wavefront})
+	rng := xrand.New(61)
+	totSif, totWf := 0, 0
+	for trial := 0; trial < 2000; trial++ {
+		reqs := randomVCRequests(rng, p, spec, 0.9)
+		for _, g := range sif.Allocate(reqs) {
+			if g >= 0 {
+				totSif++
+			}
+		}
+		for _, g := range wf.Allocate(reqs) {
+			if g >= 0 {
+				totWf++
+			}
+		}
+	}
+	if totSif >= totWf {
+		t.Fatalf("sep_if (%d) should grant fewer than wavefront (%d) under load", totSif, totWf)
+	}
+}
+
+func TestVCInputFirstBeatsOutputFirst(t *testing.T) {
+	// Paper §4.3.2: "Input-first allocation provides slightly better
+	// matching here". Check the aggregate ordering at high load.
+	spec := NewVCSpec(2, 1, 4)
+	p := 5
+	sif := NewVCAllocator(VCAllocConfig{Ports: p, Spec: spec, Arch: alloc.SepIF, ArbKind: arbiter.RoundRobin})
+	sof := NewVCAllocator(VCAllocConfig{Ports: p, Spec: spec, Arch: alloc.SepOF, ArbKind: arbiter.RoundRobin})
+	rng := xrand.New(67)
+	totIF, totOF := 0, 0
+	for trial := 0; trial < 4000; trial++ {
+		reqs := randomVCRequests(rng, p, spec, 0.9)
+		for _, g := range sif.Allocate(reqs) {
+			if g >= 0 {
+				totIF++
+			}
+		}
+		for _, g := range sof.Allocate(reqs) {
+			if g >= 0 {
+				totOF++
+			}
+		}
+	}
+	if totIF <= totOF {
+		t.Fatalf("sep_if (%d) should outperform sep_of (%d) for VC allocation", totIF, totOF)
+	}
+}
+
+func TestVCAllocatorFairness(t *testing.T) {
+	// Two input VCs at different ports persistently contending for a
+	// single-VC class must alternate grants.
+	spec := NewVCSpec(1, 1, 1)
+	p := 3
+	for _, arch := range []alloc.Arch{alloc.SepIF, alloc.SepOF, alloc.Wavefront} {
+		a := NewVCAllocator(VCAllocConfig{Ports: p, Spec: spec, Arch: arch, ArbKind: arbiter.RoundRobin})
+		reqs := make([]VCRequest, p)
+		reqs[0] = VCRequest{Active: true, OutPort: 2, Candidates: spec.ClassMask(0, 0)}
+		reqs[1] = VCRequest{Active: true, OutPort: 2, Candidates: spec.ClassMask(0, 0)}
+		counts := [2]int{}
+		for k := 0; k < 100; k++ {
+			grants := a.Allocate(reqs)
+			for i := 0; i < 2; i++ {
+				if grants[i] >= 0 {
+					counts[i]++
+				}
+			}
+		}
+		if counts[0]+counts[1] != 100 {
+			t.Fatalf("%s: every cycle should produce exactly one grant, got %v", a.Name(), counts)
+		}
+		// Separable allocators with iSLIP-style updates alternate exactly;
+		// the wavefront allocator only guarantees weak fairness via its
+		// rotating diagonal (§2.2), so require only absence of starvation.
+		minShare := 40
+		if arch == alloc.Wavefront {
+			minShare = 20
+		}
+		if counts[0] < minShare || counts[1] < minShare {
+			t.Errorf("%s: unfair grant distribution %v", a.Name(), counts)
+		}
+	}
+}
+
+func TestVCAllocatorReset(t *testing.T) {
+	spec := NewVCSpec(2, 1, 2)
+	p := 4
+	for _, cfg := range vcConfigs(p, spec) {
+		a := NewVCAllocator(cfg)
+		rng := xrand.New(71)
+		reqs := randomVCRequests(rng, p, spec, 0.8)
+		first := append([]int(nil), a.Allocate(reqs)...)
+		a.Allocate(reqs)
+		a.Reset()
+		again := a.Allocate(reqs)
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("%s: Reset did not restore initial decisions (idx %d: %d vs %d)",
+					a.Name(), i, first[i], again[i])
+			}
+		}
+	}
+}
+
+func TestCheckVCGrantsDetectsViolations(t *testing.T) {
+	spec := NewVCSpec(1, 1, 2)
+	v := spec.V()
+	p := 2
+	reqs := make([]VCRequest, p*v)
+	reqs[0] = VCRequest{Active: true, OutPort: 1, Candidates: spec.ClassMask(0, 0)}
+	reqs[1] = VCRequest{Active: true, OutPort: 1, Candidates: spec.ClassMask(0, 0)}
+
+	grants := make([]int, p*v)
+	for i := range grants {
+		grants[i] = -1
+	}
+	// Grant to inactive input.
+	grants[2] = 1 * v
+	if CheckVCGrants(p, spec, reqs, grants) == nil {
+		t.Error("grant to inactive input not detected")
+	}
+	grants[2] = -1
+	// Wrong port.
+	grants[0] = 0*v + 0
+	if CheckVCGrants(p, spec, reqs, grants) == nil {
+		t.Error("wrong-port grant not detected")
+	}
+	// Duplicate output VC.
+	grants[0] = 1*v + 0
+	grants[1] = 1*v + 0
+	if CheckVCGrants(p, spec, reqs, grants) == nil {
+		t.Error("duplicate output VC not detected")
+	}
+	// Valid assignment passes.
+	grants[1] = 1*v + 1
+	if err := CheckVCGrants(p, spec, reqs, grants); err != nil {
+		t.Errorf("valid grants rejected: %v", err)
+	}
+}
+
+func BenchmarkVCAllocMeshSepIF(b *testing.B) { benchVC(b, 5, NewVCSpec(2, 1, 4), alloc.SepIF, false) }
+func BenchmarkVCAllocMeshWavefront(b *testing.B) {
+	benchVC(b, 5, NewVCSpec(2, 1, 4), alloc.Wavefront, false)
+}
+func BenchmarkVCAllocFbflySepIFSparse(b *testing.B) {
+	benchVC(b, 10, NewVCSpec(2, 2, 4), alloc.SepIF, true)
+}
+
+func benchVC(b *testing.B, p int, spec VCSpec, arch alloc.Arch, sparse bool) {
+	a := NewVCAllocator(VCAllocConfig{Ports: p, Spec: spec, Arch: arch, ArbKind: arbiter.RoundRobin, Sparse: sparse})
+	rng := xrand.New(1)
+	reqs := randomVCRequests(rng, p, spec, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Allocate(reqs)
+	}
+}

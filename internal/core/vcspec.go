@@ -1,0 +1,261 @@
+// Package core implements the contributions of Becker & Dally (SC '09):
+// virtual-channel and switch allocator microarchitectures for input-queued
+// VC routers, the sparse VC allocation scheme of §4.2, and the conventional
+// and pessimistic speculative switch allocation mechanisms of §5.2.
+//
+// The package separates three concerns that the paper evaluates jointly:
+//
+//   - VCSpec describes how a router's V virtual channels decompose into
+//     message classes, resource classes, and VCs per class (V = M·R·C) and
+//     which VC-to-VC transitions are legal (Fig. 4).
+//   - VCAllocator assigns output VCs to head flits (Fig. 3), either with
+//     dense (uniform) logic or with the sparse scheme that statically
+//     exploits the transition structure.
+//   - SwitchAllocator schedules buffered flits onto crossbar time slots
+//     (Fig. 8), optionally with speculative requests masked by one of the
+//     two schemes in Fig. 9.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// VCSpec describes the virtual-channel organization of a router:
+// V = MessageClasses × ResourceClasses × VCsPerClass.
+//
+// A VC's global index is ((m·R)+r)·C + c for message class m, resource class
+// r and intra-class index c, so VCs of the same class are contiguous.
+type VCSpec struct {
+	// MessageClasses (M) partition traffic by packet type (e.g. request
+	// vs reply) to avoid protocol deadlock. A packet's message class never
+	// changes in the network.
+	MessageClasses int
+	// ResourceClasses (R) partition each message class to break cyclic
+	// resource dependencies (e.g. dateline or the two UGAL phases). A
+	// packet's resource class may change, but only along ResourceSucc.
+	ResourceClasses int
+	// VCsPerClass (C) is the number of interchangeable VCs in each
+	// (message, resource) class.
+	VCsPerClass int
+	// ResourceSucc[r] lists the resource classes a packet currently in
+	// class r may occupy at the next hop (including r itself if allowed).
+	// If nil, DefaultSuccessors is used.
+	ResourceSucc [][]int
+}
+
+// NewVCSpec returns a spec with M message classes, R resource classes, C VCs
+// per class and the default monotonic successor relation.
+func NewVCSpec(m, r, c int) VCSpec {
+	s := VCSpec{MessageClasses: m, ResourceClasses: r, VCsPerClass: c}
+	s.ResourceSucc = DefaultSuccessors(r)
+	return s
+}
+
+// DefaultSuccessors returns the monotonic successor relation used by
+// dateline and two-phase (Valiant/UGAL) routing schemes: class r may stay in
+// r or advance to r+1; the final class only stays. For R = 1 this is the
+// identity.
+func DefaultSuccessors(r int) [][]int {
+	succ := make([][]int, r)
+	for i := range succ {
+		if i+1 < r {
+			succ[i] = []int{i, i + 1}
+		} else {
+			succ[i] = []int{i}
+		}
+	}
+	return succ
+}
+
+// Validate reports an error if the spec is malformed.
+func (s VCSpec) Validate() error {
+	if s.MessageClasses <= 0 || s.ResourceClasses <= 0 || s.VCsPerClass <= 0 {
+		return fmt.Errorf("core: VCSpec dimensions must be positive, got %dx%dx%d",
+			s.MessageClasses, s.ResourceClasses, s.VCsPerClass)
+	}
+	if s.ResourceSucc != nil {
+		if len(s.ResourceSucc) != s.ResourceClasses {
+			return fmt.Errorf("core: ResourceSucc has %d entries, want %d",
+				len(s.ResourceSucc), s.ResourceClasses)
+		}
+		for r, succ := range s.ResourceSucc {
+			for _, n := range succ {
+				if n < 0 || n >= s.ResourceClasses {
+					return fmt.Errorf("core: ResourceSucc[%d] contains invalid class %d", r, n)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// V returns the total number of VCs, M·R·C.
+func (s VCSpec) V() int { return s.MessageClasses * s.ResourceClasses * s.VCsPerClass }
+
+// Classes returns the number of (message, resource) classes, M·R.
+func (s VCSpec) Classes() int { return s.MessageClasses * s.ResourceClasses }
+
+// String renders the spec in the paper's MxRxC notation.
+func (s VCSpec) String() string {
+	return fmt.Sprintf("%dx%dx%d", s.MessageClasses, s.ResourceClasses, s.VCsPerClass)
+}
+
+// VCIndex returns the global VC index for (message class m, resource class
+// r, intra-class index c).
+func (s VCSpec) VCIndex(m, r, c int) int {
+	if m < 0 || m >= s.MessageClasses || r < 0 || r >= s.ResourceClasses || c < 0 || c >= s.VCsPerClass {
+		panic(fmt.Sprintf("core: VC coordinate (%d,%d,%d) out of range for %s", m, r, c, s))
+	}
+	return (m*s.ResourceClasses+r)*s.VCsPerClass + c
+}
+
+// Decompose splits a global VC index into (message class, resource class,
+// intra-class index).
+func (s VCSpec) Decompose(vc int) (m, r, c int) {
+	if vc < 0 || vc >= s.V() {
+		panic(fmt.Sprintf("core: VC index %d out of range for %s", vc, s))
+	}
+	c = vc % s.VCsPerClass
+	cls := vc / s.VCsPerClass
+	r = cls % s.ResourceClasses
+	m = cls / s.ResourceClasses
+	return
+}
+
+// ClassOf returns the (message, resource) class index of vc, in [0, M·R).
+func (s VCSpec) ClassOf(vc int) int { return vc / s.VCsPerClass }
+
+// ClassIndex returns the class index for message class m and resource class r.
+func (s VCSpec) ClassIndex(m, r int) int {
+	if m < 0 || m >= s.MessageClasses || r < 0 || r >= s.ResourceClasses {
+		panic(fmt.Sprintf("core: class coordinate (%d,%d) out of range for %s", m, r, s))
+	}
+	return m*s.ResourceClasses + r
+}
+
+func (s VCSpec) successors(r int) []int {
+	if s.ResourceSucc == nil {
+		if r+1 < s.ResourceClasses {
+			return []int{r, r + 1}
+		}
+		return []int{r}
+	}
+	return s.ResourceSucc[r]
+}
+
+// LegalTransition reports whether a packet occupying input VC `from` may
+// acquire output VC `to` at the next router: the message class must match
+// and the resource class of `to` must be a successor of `from`'s.
+func (s VCSpec) LegalTransition(from, to int) bool {
+	fm, fr, _ := s.Decompose(from)
+	tm, tr, _ := s.Decompose(to)
+	if fm != tm {
+		return false
+	}
+	for _, r := range s.successors(fr) {
+		if r == tr {
+			return true
+		}
+	}
+	return false
+}
+
+// TransitionMatrix returns the V×V matrix of legal VC-to-VC transitions
+// (rows: input VC, columns: output VC). This is the matrix shown in Fig. 4
+// of the paper; for the fbfly 2×2×4 configuration exactly 96 of the 256
+// entries are set.
+func (s VCSpec) TransitionMatrix() *bitvec.Matrix {
+	v := s.V()
+	m := bitvec.NewMatrix(v, v)
+	for from := 0; from < v; from++ {
+		for to := 0; to < v; to++ {
+			if s.LegalTransition(from, to) {
+				m.Set(from, to)
+			}
+		}
+	}
+	return m
+}
+
+// CountLegalTransitions returns the number of legal VC-to-VC transitions,
+// i.e. the population count of TransitionMatrix.
+func (s VCSpec) CountLegalTransitions() int { return s.TransitionMatrix().Count() }
+
+// ClassMask returns a V-wide bit vector selecting the VCs of class
+// (m, r).
+func (s VCSpec) ClassMask(m, r int) *bitvec.Vec {
+	v := bitvec.New(s.V())
+	base := s.ClassIndex(m, r) * s.VCsPerClass
+	for c := 0; c < s.VCsPerClass; c++ {
+		v.Set(base + c)
+	}
+	return v
+}
+
+// SuccessorMask returns a V-wide bit vector of the output VCs an input VC
+// may legally transition to.
+func (s VCSpec) SuccessorMask(vc int) *bitvec.Vec {
+	m, r, _ := s.Decompose(vc)
+	v := bitvec.New(s.V())
+	for _, nr := range s.successors(r) {
+		base := s.ClassIndex(m, nr) * s.VCsPerClass
+		for c := 0; c < s.VCsPerClass; c++ {
+			v.Set(base + c)
+		}
+	}
+	return v
+}
+
+// MaxSuccessorsPerVC returns the maximum number of legal successor VCs over
+// all input VCs; for the fbfly 2×2×4 configuration this is 8 (paper §4.2).
+func (s VCSpec) MaxSuccessorsPerVC() int {
+	best := 0
+	for vc := 0; vc < s.V(); vc++ {
+		if n := s.SuccessorMask(vc).Count(); n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// PredecessorCount returns the number of distinct input-VC resource classes
+// that may transition into resource class r (used to size sparse output-side
+// arbiters, §4.2).
+func (s VCSpec) PredecessorCount(r int) int {
+	n := 0
+	for p := 0; p < s.ResourceClasses; p++ {
+		for _, q := range s.successors(p) {
+			if q == r {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// MaxSuccessorClasses returns the maximum number of successor resource
+// classes over all resource classes.
+func (s VCSpec) MaxSuccessorClasses() int {
+	best := 0
+	for r := 0; r < s.ResourceClasses; r++ {
+		if n := len(s.successors(r)); n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// MaxPredecessorClasses returns the maximum number of predecessor resource
+// classes over all resource classes.
+func (s VCSpec) MaxPredecessorClasses() int {
+	best := 0
+	for r := 0; r < s.ResourceClasses; r++ {
+		if n := s.PredecessorCount(r); n > best {
+			best = n
+		}
+	}
+	return best
+}

@@ -1,0 +1,487 @@
+// Package experiments defines one regenerator per table/figure of Becker &
+// Dally (SC '09) so that the command-line tools and the benchmark harness
+// share a single source of truth for workloads, parameters and design
+// points. The per-experiment index in DESIGN.md maps onto this package.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/arbiter"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/quality"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Point is one of the paper's six design points (§3): a topology plus a VC
+// organization.
+type Point struct {
+	// Topo is "mesh" (8×8, P=5) or "fbfly" (4×4 c=4, P=10).
+	Topo string
+	// Ports is the router radix.
+	Ports int
+	// Spec is the M×R×C VC organization.
+	Spec core.VCSpec
+}
+
+// String renders the paper's subfigure label, e.g. "mesh 2x1x4".
+func (p Point) String() string { return fmt.Sprintf("%s %s", p.Topo, p.Spec) }
+
+// Points returns the six design points in the paper's figure order
+// (mesh 2×1×{1,2,4}, fbfly 2×2×{1,2,4}).
+func Points() []Point {
+	return []Point{
+		{Topo: "mesh", Ports: 5, Spec: core.NewVCSpec(2, 1, 1)},
+		{Topo: "mesh", Ports: 5, Spec: core.NewVCSpec(2, 1, 2)},
+		{Topo: "mesh", Ports: 5, Spec: core.NewVCSpec(2, 1, 4)},
+		{Topo: "fbfly", Ports: 10, Spec: core.NewVCSpec(2, 2, 1)},
+		{Topo: "fbfly", Ports: 10, Spec: core.NewVCSpec(2, 2, 2)},
+		{Topo: "fbfly", Ports: 10, Spec: core.NewVCSpec(2, 2, 4)},
+	}
+}
+
+// PointByName returns the design point labeled "<topo> MxRxC".
+func PointByName(topo string, c int) (Point, error) {
+	for _, p := range Points() {
+		if p.Topo == topo && p.Spec.VCsPerClass == c {
+			return p, nil
+		}
+	}
+	return Point{}, fmt.Errorf("experiments: no design point %s C=%d", topo, c)
+}
+
+// Variant is one allocator implementation from the figure legends.
+type Variant struct {
+	// Arch is the allocator architecture.
+	Arch alloc.Arch
+	// Arb is the arbiter kind ("m" or "rr"); wavefront always uses "rr".
+	Arb arbiter.Kind
+}
+
+// String renders the legend label, e.g. "sep_if/m" or "wf/rr".
+func (v Variant) String() string { return v.Arch.String() + "/" + v.Arb.String() }
+
+// Variants returns the five legend entries of Figs. 5, 6, 10 and 11:
+// sep_if/m, sep_if/rr, sep_of/m, sep_of/rr, wf/rr.
+func Variants() []Variant {
+	return []Variant{
+		{alloc.SepIF, arbiter.Matrix},
+		{alloc.SepIF, arbiter.RoundRobin},
+		{alloc.SepOF, arbiter.Matrix},
+		{alloc.SepOF, arbiter.RoundRobin},
+		{alloc.Wavefront, arbiter.RoundRobin},
+	}
+}
+
+// --- Figs. 5 & 6: VC allocator implementation cost ---------------------------
+
+// VCCostRow is one synthesis result for the VC allocator cost figures.
+type VCCostRow struct {
+	Point   Point
+	Variant Variant
+	// Sparse distinguishes the two connected data points per curve
+	// (§4.3.1): the design before and after sparse VC allocation.
+	Sparse bool
+	Est    costmodel.Estimate
+}
+
+// VCCost regenerates the data behind Figs. 5 (area vs delay) and 6 (power
+// vs delay): every design point × variant × {dense, sparse}.
+func VCCost(tech costmodel.Tech) []VCCostRow {
+	var rows []VCCostRow
+	for _, pt := range Points() {
+		for _, v := range Variants() {
+			for _, sparse := range []bool{false, true} {
+				est := costmodel.VCAllocCost(tech, core.VCAllocConfig{
+					Ports: pt.Ports, Spec: pt.Spec, Arch: v.Arch, ArbKind: v.Arb, Sparse: sparse,
+				})
+				rows = append(rows, VCCostRow{Point: pt, Variant: v, Sparse: sparse, Est: est})
+			}
+		}
+	}
+	return rows
+}
+
+// SparseSavings summarizes the §4.3.1 headline: the maximum relative delay,
+// area and power reduction from sparse VC allocation over all design points
+// whose dense and sparse variants both synthesized (paper: up to 41%, 90%
+// and 83%).
+func SparseSavings(tech costmodel.Tech) (delay, area, power float64) {
+	rows := VCCost(tech)
+	byKey := map[string][2]costmodel.Estimate{}
+	for _, r := range rows {
+		key := r.Point.String() + r.Variant.String()
+		pair := byKey[key]
+		if r.Sparse {
+			pair[1] = r.Est
+		} else {
+			pair[0] = r.Est
+		}
+		byKey[key] = pair
+	}
+	for _, pair := range byKey {
+		dense, sparse := pair[0], pair[1]
+		if !dense.Synthesized || !sparse.Synthesized {
+			continue
+		}
+		if s := 1 - sparse.DelayNS/dense.DelayNS; s > delay {
+			delay = s
+		}
+		if s := 1 - sparse.AreaUM2/dense.AreaUM2; s > area {
+			area = s
+		}
+		if s := 1 - sparse.PowerMW/dense.PowerMW; s > power {
+			power = s
+		}
+	}
+	return delay, area, power
+}
+
+// --- Figs. 10 & 11: switch allocator implementation cost ---------------------
+
+// SwitchCostRow is one synthesis result for the switch allocator cost
+// figures; the three Modes per curve are the paper's three data points
+// (non-speculative, pessimistic, conventional).
+type SwitchCostRow struct {
+	Point   Point
+	Variant Variant
+	Mode    core.SpecMode
+	Est     costmodel.Estimate
+}
+
+// SwitchCost regenerates the data behind Figs. 10 and 11.
+func SwitchCost(tech costmodel.Tech) []SwitchCostRow {
+	var rows []SwitchCostRow
+	for _, pt := range Points() {
+		for _, v := range Variants() {
+			for _, mode := range []core.SpecMode{core.SpecNone, core.SpecReq, core.SpecGnt} {
+				est := costmodel.SwitchAllocCost(tech, core.SwitchAllocConfig{
+					Ports: pt.Ports, VCs: pt.Spec.V(), Arch: v.Arch, ArbKind: v.Arb, SpecMode: mode,
+				})
+				rows = append(rows, SwitchCostRow{Point: pt, Variant: v, Mode: mode, Est: est})
+			}
+		}
+	}
+	return rows
+}
+
+// PessimisticDelaySaving summarizes the §5.3.1 headline: the maximum
+// relative delay reduction of the pessimistic speculation scheme over the
+// conventional one (paper: up to 23%, most pronounced for the wavefront
+// allocator — in this model the low-delay sep_if/m points land within a
+// couple of percent of the wavefront maximum).
+func PessimisticDelaySaving(tech costmodel.Tech) (best float64, bestRow string) {
+	rows := SwitchCost(tech)
+	type key struct {
+		pt, v string
+	}
+	byKey := map[key]map[core.SpecMode]costmodel.Estimate{}
+	for _, r := range rows {
+		k := key{r.Point.String(), r.Variant.String()}
+		if byKey[k] == nil {
+			byKey[k] = map[core.SpecMode]costmodel.Estimate{}
+		}
+		byKey[k][r.Mode] = r.Est
+	}
+	for k, m := range byKey {
+		pr, cg := m[core.SpecReq], m[core.SpecGnt]
+		if !pr.Synthesized || !cg.Synthesized {
+			continue
+		}
+		if s := 1 - pr.DelayNS/cg.DelayNS; s > best {
+			best = s
+			bestRow = k.pt + " " + k.v
+		}
+	}
+	return best, bestRow
+}
+
+// --- Figs. 7 & 12: matching quality -------------------------------------------
+
+// VCQuality regenerates one subfigure of Fig. 7: the three architecture
+// curves (sep_if, sep_of, wf; round-robin arbiters) for a design point.
+func VCQuality(pt Point, rates []float64, trials int, seed uint64) []quality.Series {
+	var out []quality.Series
+	for _, arch := range []alloc.Arch{alloc.SepIF, alloc.SepOF, alloc.Wavefront} {
+		out = append(out, quality.VCSeries(core.VCAllocConfig{
+			Ports: pt.Ports, Spec: pt.Spec, Arch: arch, ArbKind: arbiter.RoundRobin,
+		}, rates, trials, seed))
+	}
+	return out
+}
+
+// SwitchQuality regenerates one subfigure of Fig. 12.
+func SwitchQuality(pt Point, rates []float64, trials int, seed uint64) []quality.Series {
+	var out []quality.Series
+	for _, arch := range []alloc.Arch{alloc.SepIF, alloc.SepOF, alloc.Wavefront} {
+		out = append(out, quality.SwitchSeries(core.SwitchAllocConfig{
+			Ports: pt.Ports, VCs: pt.Spec.V(), Arch: arch, ArbKind: arbiter.RoundRobin,
+		}, rates, trials, seed))
+	}
+	return out
+}
+
+// --- Figs. 13 & 14: network-level performance ---------------------------------
+
+// SimScale controls simulation length; the default regenerates
+// publication-quality curves, tests use shorter phases.
+type SimScale struct {
+	Warmup, Measure, Drain int
+	Seed                   uint64
+	// Workers bounds the number of simulations run concurrently when a
+	// curve's rate points are swept (each point is an independent,
+	// deterministic simulation). Zero or one means serial execution.
+	Workers int
+}
+
+// DefaultScale is sized for the cmd-line tools.
+func DefaultScale() SimScale { return SimScale{Warmup: 3000, Measure: 6000, Drain: 20000, Seed: 42} }
+
+// NetPoint is one latency/throughput sample.
+type NetPoint struct {
+	Rate       float64
+	Latency    float64
+	Throughput float64
+	Saturated  bool
+}
+
+// NetSeries is a named latency-vs-injection-rate curve.
+type NetSeries struct {
+	Name   string
+	Points []NetPoint
+}
+
+// SaturationRate estimates the series' saturation throughput: the highest
+// observed accepted rate.
+func (s NetSeries) SaturationRate() float64 {
+	best := 0.0
+	for _, p := range s.Points {
+		if p.Throughput > best {
+			best = p.Throughput
+		}
+	}
+	return best
+}
+
+// InjectionRates returns the paper's x-axis sweep for a design point
+// (Figs. 13 and 14 use wider ranges for the flattened butterfly and for
+// more VCs).
+func InjectionRates(pt Point) []float64 {
+	var max float64
+	switch {
+	case pt.Topo == "mesh" && pt.Spec.VCsPerClass == 1:
+		max = 0.35
+	case pt.Topo == "mesh" && pt.Spec.VCsPerClass == 2:
+		max = 0.40
+	case pt.Topo == "mesh":
+		max = 0.45
+	case pt.Spec.VCsPerClass == 1:
+		max = 0.50
+	case pt.Spec.VCsPerClass == 2:
+		max = 0.60
+	default:
+		max = 0.70
+	}
+	var rates []float64
+	for r := 0.05; r <= max+1e-9; r += 0.05 {
+		rates = append(rates, r)
+	}
+	return rates
+}
+
+// BuildSim assembles a simulation config for a design point. The VC
+// allocator defaults to separable input-first and speculation to the
+// pessimistic scheme, the baseline the paper's §5.3.3 simulations use.
+func BuildSim(pt Point, rate float64, scale SimScale) sim.Config {
+	cfg := sim.Config{
+		Spec:          pt.Spec,
+		VA:            core.VCAllocConfig{Arch: alloc.SepIF, ArbKind: arbiter.RoundRobin},
+		SA:            core.SwitchAllocConfig{Arch: alloc.SepIF, ArbKind: arbiter.RoundRobin, SpecMode: core.SpecReq},
+		InjectionRate: rate,
+		Seed:          scale.Seed,
+		Warmup:        scale.Warmup,
+		Measure:       scale.Measure,
+		Drain:         scale.Drain,
+	}
+	switch pt.Topo {
+	case "mesh":
+		topo := topology.Mesh(8)
+		cfg.Topology = topo
+		cfg.Routing = routing.NewDOR(topo)
+	case "fbfly":
+		topo := topology.FlattenedButterfly(4, 4)
+		cfg.Topology = topo
+		cfg.Routing = routing.NewUGAL(topo, 1)
+	default:
+		panic("experiments: unknown topology " + pt.Topo)
+	}
+	return cfg
+}
+
+func runCurve(name string, rates []float64, mk func(rate float64) sim.Config) NetSeries {
+	return runCurveN(name, rates, 1, mk)
+}
+
+// runCurveN sweeps the rate points with up to `workers` simulations in
+// flight. Every point is an independent simulation with its own seed, so
+// results are bit-identical regardless of parallelism.
+func runCurveN(name string, rates []float64, workers int, mk func(rate float64) sim.Config) NetSeries {
+	s := NetSeries{Name: name, Points: make([]NetPoint, len(rates))}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(rates) {
+		workers = len(rates)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, rate := range rates {
+		i, rate := i, rate
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res := sim.New(mk(rate)).Run()
+			s.Points[i] = NetPoint{
+				Rate: rate, Latency: res.AvgLatency, Throughput: res.Throughput, Saturated: res.Saturated,
+			}
+		}()
+	}
+	wg.Wait()
+	return s
+}
+
+// Fig13 regenerates one subfigure of Fig. 13: average packet latency vs
+// injection rate for the three switch allocator architectures (separable
+// input-first VC allocation and pessimistic speculation, per §5.3.3).
+func Fig13(pt Point, rates []float64, scale SimScale) []NetSeries {
+	var out []NetSeries
+	for _, arch := range []alloc.Arch{alloc.SepIF, alloc.SepOF, alloc.Wavefront} {
+		arch := arch
+		out = append(out, runCurveN(arch.String(), rates, scale.Workers, func(rate float64) sim.Config {
+			cfg := BuildSim(pt, rate, scale)
+			cfg.SA.Arch = arch
+			return cfg
+		}))
+	}
+	return out
+}
+
+// Fig14 regenerates one subfigure of Fig. 14: the three speculation schemes
+// on a separable input-first switch allocator.
+func Fig14(pt Point, rates []float64, scale SimScale) []NetSeries {
+	var out []NetSeries
+	for _, mode := range []core.SpecMode{core.SpecNone, core.SpecGnt, core.SpecReq} {
+		mode := mode
+		out = append(out, runCurveN(mode.String(), rates, scale.Workers, func(rate float64) sim.Config {
+			cfg := BuildSim(pt, rate, scale)
+			cfg.SA.SpecMode = mode
+			return cfg
+		}))
+	}
+	return out
+}
+
+// VASweep regenerates the §4.3.3 experiment the paper describes but omits
+// for space: latency curves for different VC allocator architectures,
+// demonstrating the network's insensitivity to the choice.
+func VASweep(pt Point, rates []float64, scale SimScale) []NetSeries {
+	type va struct {
+		arch   alloc.Arch
+		sparse bool
+		name   string
+	}
+	vas := []va{
+		{alloc.SepIF, false, "va=sep_if"},
+		{alloc.SepOF, false, "va=sep_of"},
+		{alloc.Wavefront, false, "va=wf"},
+		{alloc.SepIF, true, "va=sep_if(sparse)"},
+	}
+	var out []NetSeries
+	for _, v := range vas {
+		v := v
+		out = append(out, runCurveN(v.name, rates, scale.Workers, func(rate float64) sim.Config {
+			cfg := BuildSim(pt, rate, scale)
+			cfg.VA.Arch = v.arch
+			cfg.VA.Sparse = v.sparse
+			return cfg
+		}))
+	}
+	return out
+}
+
+// FormatNetSeries renders latency curves as a tab-separated table.
+func FormatNetSeries(series []NetSeries) string {
+	if len(series) == 0 {
+		return ""
+	}
+	out := "rate"
+	for _, s := range series {
+		out += fmt.Sprintf("\t%s(lat)\t%s(thr)", s.Name, s.Name)
+	}
+	out += "\n"
+	for i, p := range series[0].Points {
+		out += fmt.Sprintf("%.2f", p.Rate)
+		for _, s := range series {
+			sp := s.Points[i]
+			sat := ""
+			if sp.Saturated {
+				sat = "*"
+			}
+			out += fmt.Sprintf("\t%.1f%s\t%.3f", sp.Latency, sat, sp.Throughput)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// SaturationThroughput estimates the saturation throughput of a design
+// point under a given switch allocator architecture by sweeping the offered
+// load and taking the highest accepted rate (paper conclusions: wf beats
+// sep_if by 15% / 21% on the fbfly with 8 / 16 VCs).
+func SaturationThroughput(pt Point, swArch alloc.Arch, scale SimScale) float64 {
+	offered := InjectionRates(pt)
+	accepted := make([]float64, len(offered))
+	for i, rate := range offered {
+		cfg := BuildSim(pt, rate, scale)
+		cfg.SA.Arch = swArch
+		res := sim.New(cfg).Run()
+		accepted[i] = res.Throughput
+		// Once two consecutive points stop tracking offered load the
+		// plateau is established; stop early to bound runtime.
+		if i >= 1 && accepted[i] < offered[i]*0.9 && accepted[i-1] < offered[i-1]*0.95 {
+			accepted = accepted[:i+1]
+			offered = offered[:i+1]
+			break
+		}
+	}
+	best, _ := stats.SaturationEstimate(offered, accepted, 0.05)
+	return best
+}
+
+// PatternSweep runs one design point under several synthetic traffic
+// patterns at a fixed rate; the paper reports that its conclusions are
+// largely invariant to traffic pattern selection (§3.2).
+func PatternSweep(pt Point, rate float64, scale SimScale, patterns []string) ([]NetSeries, error) {
+	var out []NetSeries
+	for _, name := range patterns {
+		p, err := traffic.NewPattern(name, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, runCurve(name, []float64{rate}, func(r float64) sim.Config {
+			cfg := BuildSim(pt, r, scale)
+			cfg.Pattern = p
+			return cfg
+		}))
+	}
+	return out, nil
+}

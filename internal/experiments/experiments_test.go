@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/costmodel"
+	"repro/internal/quality"
+)
+
+func TestPoints(t *testing.T) {
+	pts := Points()
+	if len(pts) != 6 {
+		t.Fatalf("want 6 design points, got %d", len(pts))
+	}
+	if pts[0].String() != "mesh 2x1x1" || pts[5].String() != "fbfly 2x2x4" {
+		t.Fatalf("unexpected point order: %v ... %v", pts[0], pts[5])
+	}
+	for _, p := range pts[:3] {
+		if p.Ports != 5 {
+			t.Errorf("mesh radix %d, want 5", p.Ports)
+		}
+	}
+	for _, p := range pts[3:] {
+		if p.Ports != 10 {
+			t.Errorf("fbfly radix %d, want 10", p.Ports)
+		}
+	}
+}
+
+func TestPointByName(t *testing.T) {
+	p, err := PointByName("fbfly", 2)
+	if err != nil || p.String() != "fbfly 2x2x2" {
+		t.Fatalf("PointByName: %v %v", p, err)
+	}
+	if _, err := PointByName("torus", 2); err == nil {
+		t.Fatal("unknown topology should error")
+	}
+	if _, err := PointByName("mesh", 3); err == nil {
+		t.Fatal("unknown VC count should error")
+	}
+}
+
+func TestVariants(t *testing.T) {
+	vs := Variants()
+	if len(vs) != 5 {
+		t.Fatalf("want 5 variants, got %d", len(vs))
+	}
+	names := map[string]bool{}
+	for _, v := range vs {
+		names[v.String()] = true
+	}
+	for _, want := range []string{"sep_if/m", "sep_if/rr", "sep_of/m", "sep_of/rr", "wf/rr"} {
+		if !names[want] {
+			t.Errorf("missing variant %s", want)
+		}
+	}
+}
+
+func TestVCCostTableComplete(t *testing.T) {
+	rows := VCCost(costmodel.Default45nm())
+	if len(rows) != 6*5*2 {
+		t.Fatalf("VC cost rows = %d, want 60", len(rows))
+	}
+	synth := 0
+	for _, r := range rows {
+		if r.Est.Synthesized {
+			synth++
+			if r.Est.DelayNS <= 0 || r.Est.AreaUM2 <= 0 || r.Est.PowerMW <= 0 {
+				t.Fatalf("bad estimate for %v %v sparse=%v", r.Point, r.Variant, r.Sparse)
+			}
+		}
+	}
+	if synth < 30 {
+		t.Fatalf("only %d/60 design points synthesized", synth)
+	}
+}
+
+func TestSwitchCostTableComplete(t *testing.T) {
+	rows := SwitchCost(costmodel.Default45nm())
+	if len(rows) != 6*5*3 {
+		t.Fatalf("switch cost rows = %d, want 90", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Est.Synthesized {
+			t.Fatalf("switch allocator %v %v %v failed synthesis; all should fit", r.Point, r.Variant, r.Mode)
+		}
+	}
+}
+
+func TestSparseSavingsHeadline(t *testing.T) {
+	d, a, p := SparseSavings(costmodel.Default45nm())
+	t.Logf("sparse savings: delay %.0f%%, area %.0f%%, power %.0f%% (paper: 41/90/83)", d*100, a*100, p*100)
+	if d < 0.20 || a < 0.60 || p < 0.50 {
+		t.Fatalf("savings (%.2f, %.2f, %.2f) below floors", d, a, p)
+	}
+	if d > 0.60 || a > 0.95 || p > 0.95 {
+		t.Fatalf("savings (%.2f, %.2f, %.2f) implausibly high", d, a, p)
+	}
+}
+
+func TestPessimisticDelayHeadline(t *testing.T) {
+	s, row := PessimisticDelaySaving(costmodel.Default45nm())
+	t.Logf("max pessimistic delay saving %.0f%% at %s (paper: up to 23%%)", s*100, row)
+	if s < 0.15 || s > 0.30 {
+		t.Fatalf("pessimistic saving %.2f outside [0.15, 0.30]", s)
+	}
+	// The paper attributes its 23% maximum to the wavefront allocator; our
+	// model's wavefront maximum must land in the same band even if a
+	// low-delay sep_if/m point edges it out globally.
+	rows := SwitchCost(costmodel.Default45nm())
+	wfBest := 0.0
+	for _, pt := range Points() {
+		var pr, cg float64
+		for _, r := range rows {
+			if r.Point.String() == pt.String() && r.Variant.String() == "wf/rr" {
+				switch r.Mode.String() {
+				case "spec_req":
+					pr = r.Est.DelayNS
+				case "spec_gnt":
+					cg = r.Est.DelayNS
+				}
+			}
+		}
+		if cg > 0 {
+			if s := 1 - pr/cg; s > wfBest {
+				wfBest = s
+			}
+		}
+	}
+	if wfBest < 0.15 || wfBest > 0.30 {
+		t.Errorf("wavefront pessimistic saving %.2f outside [0.15, 0.30]", wfBest)
+	}
+}
+
+func TestVCQualitySeries(t *testing.T) {
+	pt, _ := PointByName("mesh", 2)
+	series := VCQuality(pt, []float64{0.3, 0.9}, 100, 1)
+	if len(series) != 3 {
+		t.Fatalf("want 3 series, got %d", len(series))
+	}
+	var wf quality.Series
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.Points))
+		}
+		if strings.HasPrefix(s.Name, "wf") {
+			wf = s
+		}
+	}
+	if wf.MinQuality() != 1 {
+		t.Fatalf("wavefront VC quality %f, want 1", wf.MinQuality())
+	}
+}
+
+func TestSwitchQualitySeries(t *testing.T) {
+	pt, _ := PointByName("fbfly", 2)
+	series := SwitchQuality(pt, []float64{0.5}, 100, 1)
+	if len(series) != 3 {
+		t.Fatalf("want 3 series, got %d", len(series))
+	}
+}
+
+func TestInjectionRates(t *testing.T) {
+	mesh1, _ := PointByName("mesh", 1)
+	fb4, _ := PointByName("fbfly", 4)
+	r1 := InjectionRates(mesh1)
+	r4 := InjectionRates(fb4)
+	if r1[len(r1)-1] >= r4[len(r4)-1] {
+		t.Fatal("fbfly 2x2x4 sweep should extend further than mesh 2x1x1")
+	}
+	if r1[0] != 0.05 {
+		t.Fatal("sweeps start at 0.05")
+	}
+}
+
+func TestFig13SmallRun(t *testing.T) {
+	pt, _ := PointByName("mesh", 1)
+	scale := SimScale{Warmup: 200, Measure: 500, Drain: 2000, Seed: 3}
+	series := Fig13(pt, []float64{0.1}, scale)
+	if len(series) != 3 {
+		t.Fatalf("want 3 switch-arch curves, got %d", len(series))
+	}
+	for _, s := range series {
+		if s.Points[0].Latency < 15 || s.Points[0].Latency > 35 {
+			t.Errorf("%s: implausible low-load latency %.1f", s.Name, s.Points[0].Latency)
+		}
+	}
+	out := FormatNetSeries(series)
+	if !strings.Contains(out, "sep_if(lat)") {
+		t.Errorf("FormatNetSeries missing headers:\n%s", out)
+	}
+	if FormatNetSeries(nil) != "" {
+		t.Error("empty series should format empty")
+	}
+}
+
+func TestFig14SmallRun(t *testing.T) {
+	pt, _ := PointByName("mesh", 1)
+	scale := SimScale{Warmup: 200, Measure: 500, Drain: 2000, Seed: 3}
+	series := Fig14(pt, []float64{0.1}, scale)
+	if len(series) != 3 {
+		t.Fatalf("want 3 speculation curves, got %d", len(series))
+	}
+	var ns, sr float64
+	for _, s := range series {
+		switch s.Name {
+		case "nonspec":
+			ns = s.Points[0].Latency
+		case "spec_req":
+			sr = s.Points[0].Latency
+		}
+	}
+	if sr >= ns {
+		t.Fatalf("speculation (%.1f) should beat nonspec (%.1f) at low load", sr, ns)
+	}
+}
+
+func TestVASweepSmallRun(t *testing.T) {
+	pt, _ := PointByName("mesh", 2)
+	scale := SimScale{Warmup: 200, Measure: 500, Drain: 2000, Seed: 3}
+	series := VASweep(pt, []float64{0.1}, scale)
+	if len(series) != 4 {
+		t.Fatalf("want 4 VA curves, got %d", len(series))
+	}
+	base := series[0].Points[0].Latency
+	for _, s := range series[1:] {
+		diff := (s.Points[0].Latency - base) / base
+		if diff < -0.08 || diff > 0.08 {
+			t.Errorf("%s deviates from sep_if baseline by %.3f", s.Name, diff)
+		}
+	}
+}
+
+func TestSaturationRateHelper(t *testing.T) {
+	s := NetSeries{Points: []NetPoint{{Throughput: 0.2}, {Throughput: 0.5}, {Throughput: 0.45}}}
+	if s.SaturationRate() != 0.5 {
+		t.Fatalf("SaturationRate = %f", s.SaturationRate())
+	}
+}
+
+func TestBuildSimUnknownTopoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildSim(Point{Topo: "ring", Ports: 3, Spec: Points()[0].Spec}, 0.1, DefaultScale())
+}
+
+func TestSaturationThroughputOrdering(t *testing.T) {
+	// Conclusions: wf achieves higher saturation throughput than sep_if on
+	// the flattened butterfly with 16 VCs.
+	if testing.Short() {
+		t.Skip("saturation sweep is slow")
+	}
+	pt, _ := PointByName("fbfly", 4)
+	scale := SimScale{Warmup: 500, Measure: 1200, Drain: 1500, Seed: 9}
+	wf := SaturationThroughput(pt, alloc.Wavefront, scale)
+	sif := SaturationThroughput(pt, alloc.SepIF, scale)
+	t.Logf("fbfly 2x2x4 saturation: wf %.3f vs sep_if %.3f (+%.0f%%; paper: +21%%)",
+		wf, sif, 100*(wf/sif-1))
+	if wf <= sif {
+		t.Fatalf("wf saturation %.3f should exceed sep_if %.3f", wf, sif)
+	}
+}
+
+func TestPatternSweepInvariance(t *testing.T) {
+	// §3.2: conclusions largely invariant to traffic pattern selection —
+	// at low load every pattern must deliver with sane latency.
+	pt, _ := PointByName("mesh", 2)
+	scale := SimScale{Warmup: 300, Measure: 600, Drain: 3000, Seed: 5}
+	series, err := PatternSweep(pt, 0.1, scale, []string{"uniform", "transpose", "bitcomp", "tornado", "neighbor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("want 5 pattern series, got %d", len(series))
+	}
+	for _, s := range series {
+		p := s.Points[0]
+		if p.Saturated || p.Latency < 5 || p.Latency > 60 {
+			t.Errorf("pattern %s: implausible low-load point %+v", s.Name, p)
+		}
+	}
+	if _, err := PatternSweep(pt, 0.1, scale, []string{"bogus"}); err == nil {
+		t.Fatal("unknown pattern should error")
+	}
+}
+
+func TestParallelCurveMatchesSerial(t *testing.T) {
+	// Per-point simulations are independent and seeded, so parallel sweeps
+	// must be bit-identical to serial ones.
+	pt, _ := PointByName("mesh", 1)
+	rates := []float64{0.1, 0.2, 0.3}
+	serial := SimScale{Warmup: 200, Measure: 400, Drain: 1500, Seed: 5, Workers: 1}
+	parallel := serial
+	parallel.Workers = 4
+	a := Fig13(pt, rates, serial)
+	b := Fig13(pt, rates, parallel)
+	for si := range a {
+		for pi := range a[si].Points {
+			if a[si].Points[pi] != b[si].Points[pi] {
+				t.Fatalf("series %s point %d: serial %+v vs parallel %+v",
+					a[si].Name, pi, a[si].Points[pi], b[si].Points[pi])
+			}
+		}
+	}
+}
+
+func TestReportsRoundTrip(t *testing.T) {
+	tech := costmodel.Default45nm()
+	var buf bytes.Buffer
+	rep := VCCostReport(tech)
+	if rep.Experiment != "fig5-6" || len(rep.Cost) != 60 {
+		t.Fatalf("VC cost report malformed: %s %d", rep.Experiment, len(rep.Cost))
+	}
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Cost) != 60 {
+		t.Fatalf("round trip lost rows: %d", len(decoded.Cost))
+	}
+	failedHasNoNumbers := true
+	for _, c := range decoded.Cost {
+		if !c.Synthesized && (c.DelayNS != 0 || c.AreaUM2 != 0) {
+			failedHasNoNumbers = false
+		}
+	}
+	if !failedHasNoNumbers {
+		t.Fatal("failed synthesis rows must omit numbers")
+	}
+
+	sw := SwitchCostReport(tech)
+	if sw.Experiment != "fig10-11" || len(sw.Cost) != 90 {
+		t.Fatalf("switch cost report malformed")
+	}
+
+	pt, _ := PointByName("mesh", 1)
+	qr := QualityReport("fig7", pt, VCQuality(pt, []float64{0.5}, 50, 1))
+	if len(qr.Quality) != 3 || len(qr.Quality[0].Rate) != 1 {
+		t.Fatalf("quality report malformed: %+v", qr)
+	}
+	scale := SimScale{Warmup: 100, Measure: 200, Drain: 800, Seed: 1}
+	nr := NetworkReport("fig14", pt, Fig14(pt, []float64{0.1}, scale))
+	if len(nr.Network) != 3 || len(nr.Network[0].Latency) != 1 {
+		t.Fatalf("network report malformed: %+v", nr)
+	}
+	buf.Reset()
+	if err := nr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"experiment\": \"fig14\"") {
+		t.Fatal("network report JSON missing experiment tag")
+	}
+}

@@ -1,0 +1,452 @@
+// Package router implements the input-queued virtual-channel router
+// microarchitecture of Becker & Dally (SC '09) §3.2: a two-stage pipeline in
+// which VC allocation and switch allocation happen in the first stage
+// (optionally with speculative switch allocation so head flits bypass a
+// dedicated VA stage) and switch traversal in the second, with lookahead
+// routing keeping route computation off the critical path, credit-based
+// flow control, and statically partitioned input buffers.
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// Packet is a multi-flit network packet.
+type Packet struct {
+	// ID is a globally unique packet identifier.
+	ID int64
+	// Type determines size and message class.
+	Type traffic.PacketType
+	// Src and Dst are terminal indices.
+	Src, Dst int
+	// Size is the flit count.
+	Size int
+	// CreatedAt is the cycle the packet entered its source queue.
+	CreatedAt int64
+	// Route is the packet's routing state (destination, UGAL phase).
+	Route routing.PacketRoute
+	// Hops counts the routers the packet's head flit has traversed.
+	Hops int
+}
+
+// Flit is one flow-control unit of a packet.
+type Flit struct {
+	// Pkt is the owning packet.
+	Pkt *Packet
+	// Seq is the flit's position within the packet.
+	Seq int
+	// Head and Tail mark the first and last flits (both set for
+	// single-flit packets).
+	Head, Tail bool
+}
+
+// MakeFlits expands a packet into its flits.
+func MakeFlits(p *Packet) []*Flit {
+	fs := make([]*Flit, p.Size)
+	for i := range fs {
+		fs[i] = &Flit{Pkt: p, Seq: i, Head: i == 0, Tail: i == p.Size-1}
+	}
+	return fs
+}
+
+// Departure reports a flit that won switch traversal this cycle.
+type Departure struct {
+	// OutPort and OutVC identify the output the flit leaves through.
+	OutPort, OutVC int
+	// Flit is the departing flit.
+	Flit *Flit
+}
+
+// Credit reports a freed input buffer slot to be returned upstream.
+type Credit struct {
+	// InPort and InVC identify the input VC that released a slot.
+	InPort, InVC int
+}
+
+// Config parameterizes a router.
+type Config struct {
+	// ID is the router's index in the network.
+	ID int
+	// Ports is the radix P.
+	Ports int
+	// Spec is the VC organization.
+	Spec core.VCSpec
+	// BufDepth is the statically partitioned per-VC input buffer depth in
+	// flits (the paper uses 8).
+	BufDepth int
+	// Routing supplies lookahead route decisions.
+	Routing routing.Function
+	// VA configures the VC allocator (Ports and Spec are overridden).
+	VA core.VCAllocConfig
+	// SA configures the switch allocator (Ports and VCs are overridden);
+	// SA.SpecMode selects the speculation scheme.
+	SA core.SwitchAllocConfig
+	// Trace, when non-nil, receives pipeline events (route computation,
+	// VA/SA grants, misspeculations).
+	Trace trace.Recorder
+	// Validate enables per-cycle allocation checking: every VC and switch
+	// allocation result is verified against its requests and violations
+	// panic. Intended for tests and debugging; roughly doubles Step cost.
+	Validate bool
+}
+
+type vcState int
+
+const (
+	vcIdle   vcState = iota // no packet, or body flits not yet at front
+	vcWaitVA                // head flit at front, awaiting an output VC
+	vcActive                // output VC assigned; flits compete for the switch
+)
+
+type inputVC struct {
+	fifo    []*Flit
+	state   vcState
+	outPort int
+	class   int // resource class requested at this router
+	outVC   int // local VC index at outPort, valid when vcActive
+}
+
+type outputVC struct {
+	allocated bool
+	credits   int
+}
+
+// Router is one router instance. It is not safe for concurrent use.
+type Router struct {
+	cfg  Config
+	p, v int
+
+	va core.VCAllocator
+	sa core.SwitchAllocator
+
+	in  []inputVC  // p*v
+	out []outputVC // p*v
+
+	vaReqs     []core.VCRequest
+	saReqs     []core.SwitchRequest
+	candidates []*bitvec.Vec // per input VC, width v
+	classMasks []*bitvec.Vec // per (m,r) class, width v
+	vaGranted  []int         // per input VC: granted global out VC this cycle, -1
+
+	deps    []Departure
+	credits []Credit
+	stats   Stats
+}
+
+// Stats counts per-router pipeline events since construction.
+type Stats struct {
+	// FlitsRouted counts flits that traversed the crossbar.
+	FlitsRouted int64
+	// SpecGrantsUsed counts speculative switch grants that moved a flit
+	// (successful VA+SA bypass).
+	SpecGrantsUsed int64
+	// Misspeculations counts speculative switch grants wasted because VC
+	// allocation failed in the same cycle or the fresh VC had no credit.
+	Misspeculations int64
+	// SpecMasked counts speculative proposals the allocator's conflict
+	// masking discarded (higher for the pessimistic scheme under load).
+	SpecMasked int64
+}
+
+// New builds a router.
+func New(cfg Config) *Router {
+	if cfg.Ports <= 0 || cfg.BufDepth <= 0 {
+		panic("router: Ports and BufDepth must be positive")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Routing == nil {
+		panic("router: Routing required")
+	}
+	v := cfg.Spec.V()
+	cfg.VA.Ports = cfg.Ports
+	cfg.VA.Spec = cfg.Spec
+	cfg.SA.Ports = cfg.Ports
+	cfg.SA.VCs = v
+	r := &Router{
+		cfg:        cfg,
+		p:          cfg.Ports,
+		v:          v,
+		va:         core.NewVCAllocator(cfg.VA),
+		sa:         core.NewSwitchAllocator(cfg.SA),
+		in:         make([]inputVC, cfg.Ports*v),
+		out:        make([]outputVC, cfg.Ports*v),
+		vaReqs:     make([]core.VCRequest, cfg.Ports*v),
+		saReqs:     make([]core.SwitchRequest, cfg.Ports*v),
+		candidates: make([]*bitvec.Vec, cfg.Ports*v),
+		vaGranted:  make([]int, cfg.Ports*v),
+	}
+	for i := range r.in {
+		r.in[i].fifo = make([]*Flit, 0, cfg.BufDepth)
+		r.out[i].credits = cfg.BufDepth
+		r.candidates[i] = bitvec.New(v)
+	}
+	for m := 0; m < cfg.Spec.MessageClasses; m++ {
+		for rc := 0; rc < cfg.Spec.ResourceClasses; rc++ {
+			r.classMasks = append(r.classMasks, cfg.Spec.ClassMask(m, rc))
+		}
+	}
+	return r
+}
+
+// ID returns the router's network index.
+func (r *Router) ID() int { return r.cfg.ID }
+
+// Ports returns the radix.
+func (r *Router) Ports() int { return r.p }
+
+// VCs returns the per-port VC count.
+func (r *Router) VCs() int { return r.v }
+
+// AcceptFlit delivers a flit into input buffer (port, vc). The caller is
+// responsible for honoring credits; overflow panics, as it indicates a
+// flow-control bug rather than a recoverable condition.
+func (r *Router) AcceptFlit(port, vc int, f *Flit) {
+	ivc := &r.in[port*r.v+vc]
+	if len(ivc.fifo) >= r.cfg.BufDepth {
+		panic(fmt.Sprintf("router %d: input buffer (%d,%d) overflow", r.cfg.ID, port, vc))
+	}
+	ivc.fifo = append(ivc.fifo, f)
+}
+
+// AcceptCredit returns one credit for output VC (port, vc).
+func (r *Router) AcceptCredit(port, vc int) {
+	ovc := &r.out[port*r.v+vc]
+	if ovc.credits >= r.cfg.BufDepth {
+		panic(fmt.Sprintf("router %d: credit overflow at output (%d,%d)", r.cfg.ID, port, vc))
+	}
+	ovc.credits++
+}
+
+// OutputOccupancy estimates the flits queued downstream of output port p as
+// consumed credits across its VCs; UGAL consults this at injection time.
+func (r *Router) OutputOccupancy(port int) int {
+	occ := 0
+	for vc := 0; vc < r.v; vc++ {
+		occ += r.cfg.BufDepth - r.out[port*r.v+vc].credits
+	}
+	return occ
+}
+
+// InputOccupancy returns the number of buffered flits at input (port, vc);
+// exposed for tests and statistics.
+func (r *Router) InputOccupancy(port, vc int) int { return len(r.in[port*r.v+vc].fifo) }
+
+// OutputVCFree reports whether output VC (port, vc) is unallocated.
+func (r *Router) OutputVCFree(port, vc int) bool { return !r.out[port*r.v+vc].allocated }
+
+// Stats returns the router's pipeline event counters, folding in the switch
+// allocator's masking statistics.
+func (r *Router) Stats() Stats {
+	s := r.stats
+	s.SpecMasked = r.sa.Stats().SpecMasked
+	return s
+}
+
+// Step advances the router by one cycle: route refresh, VC allocation and
+// (speculative) switch allocation, then switch traversal commits. The
+// returned slices are reused across calls.
+func (r *Router) Step() ([]Departure, []Credit) {
+	r.deps = r.deps[:0]
+	r.credits = r.credits[:0]
+
+	r.refreshRoutes()
+	r.buildVARequests()
+	vaGrants := r.va.Allocate(r.vaReqs)
+	copy(r.vaGranted, vaGrants)
+	r.buildSARequests()
+	saGrants := r.sa.Allocate(r.saReqs)
+	if r.cfg.Validate {
+		if err := core.CheckVCGrants(r.p, r.cfg.Spec, r.vaReqs, r.vaGranted); err != nil {
+			panic(fmt.Sprintf("router %d: %v", r.cfg.ID, err))
+		}
+		if err := core.CheckSwitchGrants(r.p, r.v, r.saReqs, saGrants); err != nil {
+			panic(fmt.Sprintf("router %d: %v", r.cfg.ID, err))
+		}
+	}
+	r.commitVA()
+	r.commitSA(saGrants)
+	return r.deps, r.credits
+}
+
+// refreshRoutes applies lookahead routing: any idle input VC whose front
+// flit is a head computes its output port and resource class immediately.
+func (r *Router) refreshRoutes() {
+	for i := range r.in {
+		ivc := &r.in[i]
+		if ivc.state != vcIdle || len(ivc.fifo) == 0 {
+			continue
+		}
+		f := ivc.fifo[0]
+		if !f.Head {
+			panic(fmt.Sprintf("router %d: body flit at front of idle VC %d", r.cfg.ID, i))
+		}
+		outPort, class := r.cfg.Routing.NextHop(r.cfg.ID, &f.Pkt.Route)
+		ivc.outPort = outPort
+		ivc.class = class
+		ivc.state = vcWaitVA
+		if r.cfg.Trace != nil {
+			r.cfg.Trace.Record(trace.Event{Kind: trace.RouteComputed, Router: r.cfg.ID,
+				Port: i / r.v, VC: i % r.v, OutPort: outPort, OutVC: -1,
+				Packet: f.Pkt.ID, Seq: f.Seq})
+		}
+	}
+}
+
+// buildVARequests assembles this cycle's VC allocation requests: one per
+// input VC holding a head flit, restricted to free output VCs of the
+// packet's message class and the routing function's resource class.
+func (r *Router) buildVARequests() {
+	for i := range r.in {
+		ivc := &r.in[i]
+		r.vaReqs[i] = core.VCRequest{}
+		if ivc.state != vcWaitVA {
+			continue
+		}
+		m := ivc.fifo[0].Pkt.Type.MessageClass()
+		mask := r.classMasks[r.cfg.Spec.ClassIndex(m, ivc.class)]
+		cand := r.candidates[i]
+		cand.CopyFrom(mask)
+		base := ivc.outPort * r.v
+		cand.ForEach(func(c int) {
+			if r.out[base+c].allocated {
+				cand.Clear(c)
+			}
+		})
+		if !cand.Any() {
+			continue
+		}
+		r.vaReqs[i] = core.VCRequest{Active: true, OutPort: ivc.outPort, Candidates: cand}
+	}
+}
+
+// buildSARequests assembles switch requests: non-speculative for active VCs
+// with a buffered flit and downstream credit, speculative for head flits
+// that issued a VC request this cycle (when speculation is enabled).
+func (r *Router) buildSARequests() {
+	speculate := r.cfg.SA.SpecMode != core.SpecNone
+	for i := range r.in {
+		ivc := &r.in[i]
+		r.saReqs[i] = core.SwitchRequest{}
+		switch ivc.state {
+		case vcActive:
+			if len(ivc.fifo) == 0 {
+				continue
+			}
+			if r.out[ivc.outPort*r.v+ivc.outVC].credits <= 0 {
+				continue
+			}
+			r.saReqs[i] = core.SwitchRequest{Active: true, OutPort: ivc.outPort}
+		case vcWaitVA:
+			if speculate && r.vaReqs[i].Active {
+				r.saReqs[i] = core.SwitchRequest{Active: true, OutPort: ivc.outPort, Spec: true}
+			}
+		}
+	}
+}
+
+// commitVA applies VC allocation grants.
+func (r *Router) commitVA() {
+	for i, g := range r.vaGranted {
+		if g < 0 {
+			continue
+		}
+		ivc := &r.in[i]
+		if ivc.state != vcWaitVA {
+			panic(fmt.Sprintf("router %d: VA grant to VC %d in state %d", r.cfg.ID, i, ivc.state))
+		}
+		outPort, outVC := g/r.v, g%r.v
+		if outPort != ivc.outPort {
+			panic(fmt.Sprintf("router %d: VA grant port mismatch", r.cfg.ID))
+		}
+		if r.out[g].allocated {
+			panic(fmt.Sprintf("router %d: VA granted busy output VC", r.cfg.ID))
+		}
+		r.out[g].allocated = true
+		ivc.outVC = outVC
+		ivc.state = vcActive
+		if r.cfg.Trace != nil {
+			r.cfg.Trace.Record(trace.Event{Kind: trace.VAGrant, Router: r.cfg.ID,
+				Port: i / r.v, VC: i % r.v, OutPort: outPort, OutVC: outVC,
+				Packet: ivc.fifo[0].Pkt.ID, Seq: ivc.fifo[0].Seq})
+		}
+	}
+}
+
+// commitSA applies switch grants and performs switch traversal: winning
+// flits leave their input buffers, consume a downstream credit and return
+// an upstream credit. Speculative grants are validated against this cycle's
+// VC allocation outcome and downstream credit availability; failed
+// speculation simply wastes the crossbar slot (§5.2).
+func (r *Router) commitSA(grants []core.SwitchGrant) {
+	for port, g := range grants {
+		if g.OutPort < 0 {
+			continue
+		}
+		i := port*r.v + g.VC
+		ivc := &r.in[i]
+		if g.Spec {
+			// Misspeculation: the head flit failed to acquire an output VC
+			// this cycle, so the crossbar slot is wasted.
+			if r.vaGranted[i] < 0 {
+				r.stats.Misspeculations++
+				r.traceMisspec(port, g.VC, ivc)
+				continue
+			}
+			// The output VC was assigned this very cycle; it must also have
+			// a credit for the flit to proceed.
+			if r.out[ivc.outPort*r.v+ivc.outVC].credits <= 0 {
+				r.stats.Misspeculations++
+				r.traceMisspec(port, g.VC, ivc)
+				continue
+			}
+			r.stats.SpecGrantsUsed++
+		}
+		if len(ivc.fifo) == 0 || ivc.state != vcActive {
+			panic(fmt.Sprintf("router %d: switch grant to empty/idle VC %d", r.cfg.ID, i))
+		}
+		f := ivc.fifo[0]
+		ivc.fifo = append(ivc.fifo[:0], ivc.fifo[1:]...) // keep backing array
+		r.stats.FlitsRouted++
+		if f.Head {
+			f.Pkt.Hops++
+		}
+		ovcIdx := ivc.outPort*r.v + ivc.outVC
+		r.out[ovcIdx].credits--
+		if r.out[ovcIdx].credits < 0 {
+			panic(fmt.Sprintf("router %d: credit underflow at output VC %d", r.cfg.ID, ovcIdx))
+		}
+		r.deps = append(r.deps, Departure{OutPort: ivc.outPort, OutVC: ivc.outVC, Flit: f})
+		r.credits = append(r.credits, Credit{InPort: port, InVC: g.VC})
+		if r.cfg.Trace != nil {
+			r.cfg.Trace.Record(trace.Event{Kind: trace.SAGrant, Router: r.cfg.ID,
+				Port: port, VC: g.VC, OutPort: ivc.outPort, OutVC: ivc.outVC,
+				Packet: f.Pkt.ID, Seq: f.Seq, Spec: g.Spec})
+		}
+		if f.Tail {
+			r.out[ovcIdx].allocated = false
+			ivc.state = vcIdle
+		}
+	}
+}
+
+// traceMisspec records a wasted speculative grant.
+func (r *Router) traceMisspec(port, vc int, ivc *inputVC) {
+	if r.cfg.Trace == nil {
+		return
+	}
+	e := trace.Event{Kind: trace.Misspec, Router: r.cfg.ID, Port: port, VC: vc,
+		OutPort: ivc.outPort, OutVC: -1, Packet: -1, Seq: -1}
+	if len(ivc.fifo) > 0 {
+		e.Packet = ivc.fifo[0].Pkt.ID
+		e.Seq = ivc.fifo[0].Seq
+	}
+	r.cfg.Trace.Record(e)
+}

@@ -1,0 +1,385 @@
+// Package sim assembles routers, channels and terminals into the
+// cycle-accurate network simulations of Becker & Dally (SC '09) §3.2 and
+// drives them through warmup, measurement and drain phases to produce the
+// latency/throughput curves of Figs. 13 and 14.
+//
+// Timing model (cycles):
+//   - Router pipeline: VC+switch allocation in the cycle a flit is at the
+//     buffer front, switch traversal in the next cycle; a flit departing a
+//     router at cycle t becomes processable at the downstream router at
+//     t + 2 + L for a channel of latency L. With speculation a head flit
+//     spends the minimum 2 cycles per router; without it, VC allocation
+//     adds one cycle per hop for head flits.
+//   - Credits travel back with the same channel latency plus one processing
+//     cycle.
+//   - Terminal injection/ejection links have latency 1.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Topology is the network graph.
+	Topology *topology.Topology
+	// Routing is the routing function (must match the topology).
+	Routing routing.Function
+	// Spec is the router VC organization; Spec.ResourceClasses must equal
+	// Routing.ResourceClasses() and Spec.MessageClasses must be 2 for the
+	// request/reply protocol.
+	Spec core.VCSpec
+	// BufDepth is the per-VC buffer depth in flits (paper: 8).
+	BufDepth int
+	// VA selects the VC allocator microarchitecture (Arch, ArbKind,
+	// Sparse); Ports/Spec are filled in per router.
+	VA core.VCAllocConfig
+	// SA selects the switch allocator microarchitecture and speculation
+	// scheme; Ports/VCs are filled in per router.
+	SA core.SwitchAllocConfig
+	// Pattern chooses packet destinations (default: uniform).
+	Pattern traffic.Pattern
+	// InjectionRate is the offered load in flits/cycle/terminal.
+	InjectionRate float64
+	// ReadFraction is the probability a transaction is a read (default 0.5).
+	ReadFraction float64
+	// Seed makes the run deterministic.
+	Seed uint64
+	// Warmup, Measure and Drain are the phase lengths in cycles.
+	Warmup, Measure, Drain int
+	// Trace, when non-nil, receives pipeline and terminal events stamped
+	// with the simulation cycle.
+	Trace *trace.Tracer
+	// Validate enables per-cycle allocation checking in every router
+	// (panics on any invariant violation); used by tests.
+	Validate bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.BufDepth == 0 {
+		c.BufDepth = 8
+	}
+	if c.ReadFraction == 0 {
+		c.ReadFraction = 0.5
+	}
+	if c.Pattern == nil {
+		p, err := traffic.NewPattern("uniform", c.Topology.Terminals())
+		if err != nil {
+			panic(err)
+		}
+		c.Pattern = p
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2000
+	}
+	if c.Measure == 0 {
+		c.Measure = 5000
+	}
+	if c.Drain == 0 {
+		c.Drain = 20000
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	// AvgLatency is the mean packet latency in cycles over packets created
+	// during the measurement window and delivered before the drain limit.
+	AvgLatency float64
+	// Throughput is accepted flits per cycle per terminal during the
+	// measurement window.
+	Throughput float64
+	// MeasuredPackets counts packets created during measurement.
+	MeasuredPackets int
+	// Unfinished counts measured packets not delivered by the drain limit.
+	Unfinished int
+	// Saturated is set when the network failed to deliver a meaningful
+	// fraction of measured packets, i.e. the offered load exceeds the
+	// saturation throughput.
+	Saturated bool
+	// Cycles is the total simulated cycle count.
+	Cycles int64
+	// FlitsDelivered counts all flits ejected over the whole run.
+	FlitsDelivered int64
+	// LatencyP50, LatencyP99 and LatencyMax are exact order statistics of
+	// measured packet latency in cycles.
+	LatencyP50, LatencyP99, LatencyMax int
+	// RequestLatency and ReplyLatency split AvgLatency by message class.
+	RequestLatency, ReplyLatency float64
+	// AvgHops is the mean router-traversal count of measured packets.
+	AvgHops float64
+	// SpecGrantsUsed, Misspeculations and SpecMasked aggregate the routers'
+	// speculation outcomes over the whole run (§5.2): grants that moved a
+	// flit, grants wasted on failed VC allocation, and proposals the
+	// conflict masking discarded.
+	SpecGrantsUsed, Misspeculations, SpecMasked int64
+}
+
+// event kinds scheduled on the timing wheel.
+type event struct {
+	kind     eventKind
+	router   int
+	port, vc int
+	terminal int
+	flit     *router.Flit
+}
+
+type eventKind int
+
+const (
+	evFlitToRouter eventKind = iota
+	evCreditToRouter
+	evFlitToTerminal
+	evCreditToTerminal
+)
+
+// Network is an instantiated simulation.
+type Network struct {
+	cfg       Config
+	routers   []*router.Router
+	terminals []*terminal
+	wheel     [][]event
+	now       int64
+
+	nextPktID int64
+	created   int64 // flits injected into source queues (for conservation)
+	delivered int64
+
+	// measurement
+	measStart, measEnd int64
+	latencySum         float64
+	latencyCount       int
+	measuredCreated    int
+	measFlits          int64
+	inFlight           map[int64]struct{} // measured packets not yet delivered
+	latHist            stats.Hist
+	reqLat, repLat     stats.Running
+	hops               stats.Running
+}
+
+const wheelSize = 16
+
+// New builds a network simulation.
+func New(cfg Config) *Network {
+	cfg.applyDefaults()
+	if cfg.Topology == nil || cfg.Routing == nil {
+		panic("sim: Topology and Routing required")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Spec.MessageClasses != 2 {
+		panic("sim: request/reply traffic needs 2 message classes")
+	}
+	if cfg.Spec.ResourceClasses != cfg.Routing.ResourceClasses() {
+		panic(fmt.Sprintf("sim: spec has %d resource classes, routing needs %d",
+			cfg.Spec.ResourceClasses, cfg.Routing.ResourceClasses()))
+	}
+	n := &Network{
+		cfg:      cfg,
+		wheel:    make([][]event, wheelSize),
+		inFlight: make(map[int64]struct{}),
+	}
+	root := xrand.New(cfg.Seed)
+	for r := 0; r < cfg.Topology.Routers; r++ {
+		rcfg := router.Config{
+			ID:       r,
+			Ports:    cfg.Topology.Ports,
+			Spec:     cfg.Spec,
+			BufDepth: cfg.BufDepth,
+			Routing:  cfg.Routing,
+			VA:       cfg.VA,
+			SA:       cfg.SA,
+		}
+		if cfg.Trace != nil {
+			rcfg.Trace = cfg.Trace
+		}
+		rcfg.Validate = cfg.Validate
+		n.routers = append(n.routers, router.New(rcfg))
+	}
+	for t := 0; t < cfg.Topology.Terminals(); t++ {
+		rid, port := cfg.Topology.TerminalRouter(t)
+		n.terminals = append(n.terminals, newTerminal(t, rid, port, cfg, root.Split(uint64(t)+1)))
+	}
+	return n
+}
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// Router returns router r (exposed for tests).
+func (n *Network) Router(r int) *router.Router { return n.routers[r] }
+
+func (n *Network) schedule(delay int64, e event) {
+	if delay < 1 || delay >= wheelSize {
+		panic(fmt.Sprintf("sim: bad event delay %d", delay))
+	}
+	slot := (n.now + delay) % wheelSize
+	n.wheel[slot] = append(n.wheel[slot], e)
+}
+
+// Occupancy implements routing.QueueEstimator for UGAL.
+func (n *Network) Occupancy(r, p int) int { return n.routers[r].OutputOccupancy(p) }
+
+// stepCycle advances the simulation by one cycle.
+func (n *Network) stepCycle() {
+	if n.cfg.Trace != nil {
+		n.cfg.Trace.SetCycle(n.now)
+	}
+	// 1. Deliver events scheduled for this cycle.
+	slot := n.now % wheelSize
+	for _, e := range n.wheel[slot] {
+		switch e.kind {
+		case evFlitToRouter:
+			n.routers[e.router].AcceptFlit(e.port, e.vc, e.flit)
+		case evCreditToRouter:
+			n.routers[e.router].AcceptCredit(e.port, e.vc)
+		case evFlitToTerminal:
+			n.terminals[e.terminal].receive(n, e.flit)
+		case evCreditToTerminal:
+			n.terminals[e.terminal].credit(e.vc)
+		}
+	}
+	n.wheel[slot] = n.wheel[slot][:0]
+
+	// 2. Terminals: new transactions and flit injection.
+	for _, t := range n.terminals {
+		t.generate(n)
+		t.send(n)
+	}
+
+	// 3. Routers: one pipeline cycle each.
+	topo := n.cfg.Topology
+	for _, r := range n.routers {
+		deps, credits := r.Step()
+		for _, d := range deps {
+			if topo.IsTerminalPort(d.OutPort) {
+				term := topo.RouterTerminal(r.ID(), d.OutPort)
+				// ST (1) + ejection link (1).
+				n.schedule(2, event{kind: evFlitToTerminal, terminal: term, flit: d.Flit})
+				// Sink consumes instantly; credit returns after the round
+				// trip (ejection link + credit processing).
+				n.schedule(4, event{kind: evCreditToRouter, router: r.ID(), port: d.OutPort, vc: d.OutVC})
+				continue
+			}
+			ch := topo.Channels[topo.OutChannel[r.ID()][d.OutPort]]
+			n.schedule(int64(2+ch.Latency), event{
+				kind: evFlitToRouter, router: ch.Dst, port: ch.DstPort, vc: d.OutVC, flit: d.Flit,
+			})
+		}
+		for _, c := range credits {
+			if topo.IsTerminalPort(c.InPort) {
+				term := topo.RouterTerminal(r.ID(), c.InPort)
+				n.schedule(2, event{kind: evCreditToTerminal, terminal: term, vc: c.InVC})
+				continue
+			}
+			ch := topo.Channels[topo.InChannel[r.ID()][c.InPort]]
+			n.schedule(int64(2+ch.Latency), event{
+				kind: evCreditToRouter, router: ch.Src, port: ch.SrcPort, vc: c.InVC,
+			})
+		}
+	}
+	n.now++
+}
+
+// Run executes warmup, measurement and drain and returns the result.
+func (n *Network) Run() Result {
+	cfg := n.cfg
+	n.measStart = int64(cfg.Warmup)
+	n.measEnd = int64(cfg.Warmup + cfg.Measure)
+	for n.now < n.measEnd {
+		n.stepCycle()
+	}
+	drainEnd := n.measEnd + int64(cfg.Drain)
+	for n.now < drainEnd && len(n.inFlight) > 0 {
+		n.stepCycle()
+	}
+	res := Result{
+		MeasuredPackets: n.measuredCreated,
+		Unfinished:      len(n.inFlight),
+		Cycles:          n.now,
+		FlitsDelivered:  n.delivered,
+		Throughput:      float64(n.measFlits) / float64(cfg.Measure) / float64(cfg.Topology.Terminals()),
+		LatencyP50:      n.latHist.Median(),
+		LatencyP99:      n.latHist.P99(),
+		LatencyMax:      n.latHist.Max(),
+		RequestLatency:  n.reqLat.Mean(),
+		ReplyLatency:    n.repLat.Mean(),
+		AvgHops:         n.hops.Mean(),
+	}
+	for _, r := range n.routers {
+		s := r.Stats()
+		res.SpecGrantsUsed += s.SpecGrantsUsed
+		res.Misspeculations += s.Misspeculations
+		res.SpecMasked += s.SpecMasked
+	}
+	if n.latencyCount > 0 {
+		res.AvgLatency = n.latencySum / float64(n.latencyCount)
+	}
+	// The network is saturated when a non-negligible fraction of measured
+	// packets never drained.
+	if n.measuredCreated > 0 && float64(res.Unfinished) > 0.02*float64(n.measuredCreated) {
+		res.Saturated = true
+	}
+	return res
+}
+
+// packetDelivered records statistics when a packet's tail reaches its
+// destination terminal.
+func (n *Network) packetDelivered(p *router.Packet) {
+	if p.CreatedAt >= n.measStart && p.CreatedAt < n.measEnd {
+		lat := n.now - p.CreatedAt
+		n.latencySum += float64(lat)
+		n.latencyCount++
+		n.latHist.Add(int(lat))
+		if p.Type.IsRequest() {
+			n.reqLat.Add(float64(lat))
+		} else {
+			n.repLat.Add(float64(lat))
+		}
+		n.hops.Add(float64(p.Hops))
+		delete(n.inFlight, p.ID)
+	}
+}
+
+// flitDelivered counts ejected flits for throughput accounting.
+func (n *Network) flitDelivered() {
+	n.delivered++
+	if n.now >= n.measStart && n.now < n.measEnd {
+		n.measFlits++
+	}
+}
+
+// newPacket registers a freshly created packet.
+func (n *Network) newPacket(t traffic.PacketType, src, dst int, createdAt int64) *router.Packet {
+	n.nextPktID++
+	p := &router.Packet{
+		ID:        n.nextPktID,
+		Type:      t,
+		Src:       src,
+		Dst:       dst,
+		Size:      t.Flits(),
+		CreatedAt: createdAt,
+		Route:     routing.PacketRoute{DestTerminal: dst, Intermediate: -1},
+	}
+	n.created += int64(p.Size)
+	if createdAt >= n.measStart && createdAt < n.measEnd {
+		n.measuredCreated++
+		n.inFlight[p.ID] = struct{}{}
+	}
+	return p
+}
+
+// Conservation reports (flits injected into source queues and sent,
+// flits delivered); exposed for invariant tests.
+func (n *Network) Conservation() (sent, delivered int64) {
+	return n.created, n.delivered
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/router"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+	"repro/internal/xrand"
+)
+
+// terminal models one network endpoint: it generates request transactions,
+// streams packet flits into its router's terminal-port input VCs (one flit
+// per cycle, credit flow-controlled), consumes ejected flits, and generates
+// replies for received requests with priority over new injections (§3.2).
+type terminal struct {
+	id       int
+	routerID int
+	port     int
+	gen      *traffic.Generator
+	rng      *xrand.Source
+	spec     core.VCSpec
+
+	// Source queues: replies take strict priority over requests.
+	replyQ []*router.Packet
+	reqQ   []*router.Packet
+
+	// Open packet being streamed and its flits.
+	cur      *router.Packet
+	curFlits []*router.Flit
+	curSeq   int
+	curVC    int
+
+	// Terminal-side view of the router's terminal-port input VCs: which
+	// are occupied by one of our packets, and how many credits remain.
+	vcBusy  []bool
+	credits []int
+
+	classMasks []*bitvec.Vec
+
+	sentFlits int64
+}
+
+func newTerminal(id, routerID, port int, cfg Config, rng *xrand.Source) *terminal {
+	v := cfg.Spec.V()
+	t := &terminal{
+		id:       id,
+		routerID: routerID,
+		port:     port,
+		gen:      traffic.NewGenerator(cfg.Pattern, cfg.InjectionRate),
+		rng:      rng,
+		spec:     cfg.Spec,
+		vcBusy:   make([]bool, v),
+		credits:  make([]int, v),
+		curVC:    -1,
+	}
+	t.gen.ReadFraction = cfg.ReadFraction
+	for i := range t.credits {
+		t.credits[i] = cfg.BufDepth
+	}
+	for m := 0; m < cfg.Spec.MessageClasses; m++ {
+		for r := 0; r < cfg.Spec.ResourceClasses; r++ {
+			t.classMasks = append(t.classMasks, cfg.Spec.ClassMask(m, r))
+		}
+	}
+	return t
+}
+
+// generate rolls the geometric injection process for this cycle.
+func (t *terminal) generate(n *Network) {
+	typ, dst, ok := t.gen.NextRequest(t.id, t.rng)
+	if !ok {
+		return
+	}
+	p := n.newPacket(typ, t.id, dst, n.now)
+	t.reqQ = append(t.reqQ, p)
+}
+
+// receive consumes an ejected flit; tails complete packets and requests
+// elicit replies in the next cycle.
+func (t *terminal) receive(n *Network, f *router.Flit) {
+	n.flitDelivered()
+	if n.cfg.Trace != nil {
+		n.cfg.Trace.Record(trace.Event{Kind: trace.Eject, Router: t.routerID,
+			Port: t.port, VC: -1, OutPort: -1, OutVC: -1, Packet: f.Pkt.ID, Seq: f.Seq})
+	}
+	if !f.Tail {
+		return
+	}
+	p := f.Pkt
+	n.packetDelivered(p)
+	if p.Type.IsRequest() {
+		// The reply is generated in the next cycle and takes priority over
+		// new request injections (§3.2).
+		reply := n.newPacket(p.Type.ReplyType(), t.id, p.Src, n.now+1)
+		t.replyQ = append(t.replyQ, reply)
+	}
+}
+
+// credit restores one credit for input VC vc at the router's terminal port.
+func (t *terminal) credit(vc int) {
+	t.credits[vc]++
+}
+
+// send streams at most one flit into the router this cycle, opening a new
+// packet when the previous one finished and an input VC of the packet's
+// class is available.
+func (t *terminal) send(n *Network) {
+	if t.cur == nil {
+		t.open(n)
+	}
+	if t.cur == nil {
+		return
+	}
+	if t.credits[t.curVC] <= 0 {
+		return
+	}
+	f := t.curFlits[t.curSeq]
+	t.credits[t.curVC]--
+	t.sentFlits++
+	if n.cfg.Trace != nil {
+		n.cfg.Trace.Record(trace.Event{Kind: trace.Inject, Router: t.routerID,
+			Port: t.port, VC: t.curVC, OutPort: -1, OutVC: -1, Packet: f.Pkt.ID, Seq: f.Seq})
+	}
+	// Injection link: 1 cycle of terminal processing + 1 cycle of wire.
+	n.schedule(2, event{kind: evFlitToRouter, router: t.routerID, port: t.port, vc: t.curVC, flit: f})
+	t.curSeq++
+	if t.curSeq == len(t.curFlits) {
+		t.vcBusy[t.curVC] = false
+		t.cur, t.curFlits, t.curSeq, t.curVC = nil, nil, 0, -1
+	}
+}
+
+// open starts streaming the next queued packet if an input VC is free.
+// Replies are strictly prioritized: while a reply waits, request injection
+// stalls.
+func (t *terminal) open(n *Network) {
+	var q *[]*router.Packet
+	switch {
+	case len(t.replyQ) > 0 && t.replyQ[0].CreatedAt <= n.now:
+		q = &t.replyQ
+	case len(t.reqQ) > 0 && t.reqQ[0].CreatedAt <= n.now:
+		q = &t.reqQ
+	default:
+		return
+	}
+	p := (*q)[0]
+	// Routing decision at injection (UGAL consults local queue state).
+	n.cfg.Routing.Inject(t.routerID, &p.Route, n, t.rng)
+	// The packet must occupy an input VC matching its message class and
+	// initial resource class.
+	mask := t.classMasks[t.spec.ClassIndex(p.Type.MessageClass(), p.Route.Phase)]
+	vc := -1
+	mask.ForEach(func(c int) {
+		if vc < 0 && !t.vcBusy[c] {
+			vc = c
+		}
+	})
+	if vc < 0 {
+		return // head-of-line blocked until a VC frees up
+	}
+	*q = (*q)[1:]
+	t.cur = p
+	t.curFlits = router.MakeFlits(p)
+	t.curSeq = 0
+	t.curVC = vc
+	t.vcBusy[vc] = true
+}
+
+// SetInjectionRate changes the offered load of every terminal; used by
+// drain-style tests.
+func (n *Network) SetInjectionRate(rate float64) {
+	for _, t := range n.terminals {
+		t.gen.InjectionRate = rate
+	}
+}
+
+// SentFlits returns the total flits handed to routers by all terminals.
+func (n *Network) SentFlits() int64 {
+	var s int64
+	for _, t := range n.terminals {
+		s += t.sentFlits
+	}
+	return s
+}

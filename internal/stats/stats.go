@@ -1,0 +1,184 @@
+// Package stats provides the streaming statistics used by the network
+// simulator: running mean/variance (Welford), exact order statistics over
+// bounded integer domains (cycle-count histograms), and simple saturation
+// detection helpers.
+//
+// Packet latencies in a cycle-accurate simulation are small non-negative
+// integers, so quantiles are computed exactly from a sparse histogram
+// instead of an approximation sketch.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates mean and variance online (Welford's algorithm).
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one sample.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// Count returns the number of samples.
+func (r *Running) Count() int64 { return r.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased sample variance (0 with <2 samples).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min and Max return the observed extrema (0 with no samples).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observed sample.
+func (r *Running) Max() float64 { return r.max }
+
+// Hist is a sparse histogram over non-negative integers, supporting exact
+// quantiles. The zero value is ready to use.
+type Hist struct {
+	counts map[int]int64
+	total  int64
+}
+
+// Add records one observation of value v (v < 0 panics).
+func (h *Hist) Add(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative histogram value %d", v))
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.total }
+
+// Mean returns the mean observation.
+func (h *Hist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Quantile returns the smallest value v such that at least q of the mass is
+// <= v, for q in [0, 1]. With no samples it returns 0.
+func (h *Hist) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	keys := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		keys = append(keys, v)
+	}
+	sort.Ints(keys)
+	need := int64(math.Ceil(q * float64(h.total)))
+	if need == 0 {
+		need = 1
+	}
+	var acc int64
+	for _, v := range keys {
+		acc += h.counts[v]
+		if acc >= need {
+			return v
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// Median is Quantile(0.5).
+func (h *Hist) Median() int { return h.Quantile(0.5) }
+
+// P99 is Quantile(0.99).
+func (h *Hist) P99() int { return h.Quantile(0.99) }
+
+// Max returns the largest observed value (0 with no samples).
+func (h *Hist) Max() int {
+	max := 0
+	for v := range h.counts {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Merge folds o into h.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.counts == nil {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+	}
+	for v, c := range o.counts {
+		h.counts[v] += c
+		h.total += c
+	}
+}
+
+// SaturationEstimate locates the saturation throughput from a monotone
+// offered-load sweep: the highest accepted throughput observed before (or
+// at) the point where accepted throughput stops tracking offered load
+// within tolerance. The inputs are parallel slices of offered and accepted
+// rates; it returns the estimate and the index of the last tracking point
+// (-1 if none track).
+func SaturationEstimate(offered, accepted []float64, tolerance float64) (float64, int) {
+	if len(offered) != len(accepted) {
+		panic("stats: slice length mismatch")
+	}
+	best := 0.0
+	lastTracking := -1
+	for i := range offered {
+		if accepted[i] > best {
+			best = accepted[i]
+		}
+		if offered[i] > 0 && accepted[i] >= offered[i]*(1-tolerance) {
+			lastTracking = i
+		}
+	}
+	return best, lastTracking
+}

@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.Count() != 0 || r.Mean() != 0 || r.Variance() != 0 {
+		t.Fatal("zero value should be empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.Count() != 8 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %f, want 5", r.Mean())
+	}
+	// Population variance is 4; unbiased sample variance = 32/7.
+	if math.Abs(r.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %f, want %f", r.Variance(), 32.0/7)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("extrema (%f, %f), want (2, 9)", r.Min(), r.Max())
+	}
+	if math.Abs(r.StdDev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatal("StdDev inconsistent with Variance")
+	}
+}
+
+func TestRunningSingleSample(t *testing.T) {
+	var r Running
+	r.Add(3)
+	if r.Mean() != 3 || r.Variance() != 0 || r.Min() != 3 || r.Max() != 3 {
+		t.Fatal("single-sample stats wrong")
+	}
+}
+
+// Property: Welford matches the two-pass formula.
+func TestQuickRunningMatchesTwoPass(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var r Running
+		var sum float64
+		for _, v := range raw {
+			r.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		var m2 float64
+		for _, v := range raw {
+			d := float64(v) - mean
+			m2 += d * d
+		}
+		wantVar := m2 / float64(len(raw)-1)
+		return math.Abs(r.Mean()-mean) < 1e-6*(1+math.Abs(mean)) &&
+			math.Abs(r.Variance()-wantVar) < 1e-6*(1+wantVar)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("zero value should be empty")
+	}
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Median() != 50 {
+		t.Fatalf("Median = %d, want 50", h.Median())
+	}
+	if h.P99() != 99 {
+		t.Fatalf("P99 = %d, want 99", h.P99())
+	}
+	if h.Quantile(1) != 100 || h.Max() != 100 {
+		t.Fatalf("Quantile(1) = %d, Max = %d, want 100", h.Quantile(1), h.Max())
+	}
+	if h.Quantile(0) != 1 {
+		t.Fatalf("Quantile(0) = %d, want 1", h.Quantile(0))
+	}
+	if math.Abs(h.Mean()-50.5) > 1e-12 {
+		t.Fatalf("Mean = %f, want 50.5", h.Mean())
+	}
+}
+
+func TestHistClamping(t *testing.T) {
+	var h Hist
+	h.Add(7)
+	if h.Quantile(-1) != 7 || h.Quantile(2) != 7 {
+		t.Fatal("out-of-range quantiles should clamp")
+	}
+}
+
+func TestHistNegativePanics(t *testing.T) {
+	var h Hist
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Add(-1)
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	a.Add(1)
+	a.Add(2)
+	b.Add(2)
+	b.Add(3)
+	a.Merge(&b)
+	if a.Count() != 4 {
+		t.Fatalf("merged count = %d, want 4", a.Count())
+	}
+	if a.Median() != 2 {
+		t.Fatalf("merged median = %d, want 2", a.Median())
+	}
+	a.Merge(nil)
+	a.Merge(&Hist{})
+	if a.Count() != 4 {
+		t.Fatal("merging empty changed count")
+	}
+	var empty Hist
+	empty.Merge(&a)
+	if empty.Count() != 4 {
+		t.Fatal("merge into zero value failed")
+	}
+}
+
+// Property: histogram quantiles agree with sorting the raw samples.
+func TestQuickHistQuantileExact(t *testing.T) {
+	rng := xrand.New(5)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(200)
+		samples := make([]int, n)
+		var h Hist
+		for i := range samples {
+			samples[i] = rng.Intn(50)
+			h.Add(samples[i])
+		}
+		// brute-force quantile
+		sorted := append([]int(nil), samples...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			idx := int(math.Ceil(q*float64(n))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if got, want := h.Quantile(q), sorted[idx]; got != want {
+				t.Fatalf("trial %d q=%.2f: hist %d, sorted %d", trial, q, got, want)
+			}
+		}
+	}
+}
+
+func TestSaturationEstimate(t *testing.T) {
+	offered := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	accepted := []float64{0.1, 0.2, 0.3, 0.34, 0.33}
+	sat, last := SaturationEstimate(offered, accepted, 0.05)
+	if sat != 0.34 {
+		t.Fatalf("saturation = %f, want 0.34", sat)
+	}
+	if last != 2 {
+		t.Fatalf("last tracking index = %d, want 2", last)
+	}
+	// Fully tracking sweep.
+	sat, last = SaturationEstimate(offered, offered, 0.01)
+	if sat != 0.5 || last != 4 {
+		t.Fatalf("tracking sweep gave (%f, %d)", sat, last)
+	}
+	// Nothing tracks.
+	_, last = SaturationEstimate([]float64{0.5}, []float64{0.1}, 0.05)
+	if last != -1 {
+		t.Fatalf("last = %d, want -1", last)
+	}
+}
+
+func TestSaturationEstimateMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SaturationEstimate([]float64{1}, nil, 0.1)
+}

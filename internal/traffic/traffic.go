@@ -1,0 +1,226 @@
+// Package traffic implements the synthetic workloads of Becker & Dally
+// (SC '09) §3.2: spatial traffic patterns (uniform random plus the standard
+// permutations) and the request–reply transaction model in which read
+// requests and write replies are single-flit packets while read replies and
+// write requests carry four payload flits behind the head flit.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/xrand"
+)
+
+// PacketType enumerates the four packet kinds of the transaction model.
+type PacketType int
+
+const (
+	// ReadRequest is a single-flit read request.
+	ReadRequest PacketType = iota
+	// ReadReply is a five-flit read reply (head + four payload flits).
+	ReadReply
+	// WriteRequest is a five-flit write request.
+	WriteRequest
+	// WriteReply is a single-flit write acknowledgment.
+	WriteReply
+)
+
+// String returns a short identifier.
+func (t PacketType) String() string {
+	switch t {
+	case ReadRequest:
+		return "read_req"
+	case ReadReply:
+		return "read_reply"
+	case WriteRequest:
+		return "write_req"
+	case WriteReply:
+		return "write_reply"
+	default:
+		return fmt.Sprintf("PacketType(%d)", int(t))
+	}
+}
+
+// Flits returns the packet length in flits (§3.2: read requests and write
+// replies are one flit; read replies and write requests are five).
+func (t PacketType) Flits() int {
+	switch t {
+	case ReadRequest, WriteReply:
+		return 1
+	case ReadReply, WriteRequest:
+		return 5
+	default:
+		panic(fmt.Sprintf("traffic: unknown packet type %d", int(t)))
+	}
+}
+
+// MessageClass returns the VC message class: requests travel in class 0,
+// replies in class 1, preventing protocol deadlock at the network boundary.
+func (t PacketType) MessageClass() int {
+	switch t {
+	case ReadRequest, WriteRequest:
+		return 0
+	case ReadReply, WriteReply:
+		return 1
+	default:
+		panic(fmt.Sprintf("traffic: unknown packet type %d", int(t)))
+	}
+}
+
+// IsRequest reports whether the packet elicits a reply at its destination.
+func (t PacketType) IsRequest() bool { return t == ReadRequest || t == WriteRequest }
+
+// ReplyType returns the packet type of the reply a request elicits.
+func (t PacketType) ReplyType() PacketType {
+	switch t {
+	case ReadRequest:
+		return ReadReply
+	case WriteRequest:
+		return WriteReply
+	default:
+		panic(fmt.Sprintf("traffic: %v has no reply", t))
+	}
+}
+
+// FlitsPerTransaction is the total flit count of any request–reply pair
+// (1+5 or 5+1); the paper uses it to relate packet and flit injection rates.
+const FlitsPerTransaction = 6
+
+// Pattern maps source terminals to destination terminals.
+type Pattern interface {
+	// Name identifies the pattern.
+	Name() string
+	// Dest returns the destination terminal for a packet injected at src.
+	// rng is consulted only by randomized patterns.
+	Dest(src int, rng *xrand.Source) int
+}
+
+// NewPattern constructs a pattern by name over n terminals. Supported:
+// "uniform", "transpose", "bitcomp", "bitrev", "shuffle", "tornado",
+// "neighbor". Permutation patterns require n to be a power of two (and
+// "transpose" a square power of two), matching standard usage.
+func NewPattern(name string, n int) (Pattern, error) {
+	if n <= 1 {
+		return nil, fmt.Errorf("traffic: need at least 2 terminals, got %d", n)
+	}
+	switch name {
+	case "uniform":
+		return uniform{n: n}, nil
+	case "transpose", "bitcomp", "bitrev", "shuffle":
+		if n&(n-1) != 0 {
+			return nil, fmt.Errorf("traffic: %s requires power-of-two terminals, got %d", name, n)
+		}
+		b := bits.TrailingZeros(uint(n))
+		if name == "transpose" && b%2 != 0 {
+			return nil, fmt.Errorf("traffic: transpose requires an even number of address bits, got %d", b)
+		}
+		return bitPattern{name: name, n: n, b: b}, nil
+	case "tornado":
+		return tornado{n: n}, nil
+	case "neighbor":
+		return neighbor{n: n}, nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+	}
+}
+
+type uniform struct{ n int }
+
+func (u uniform) Name() string { return "uniform" }
+
+// Dest draws a destination uniformly among all other terminals.
+func (u uniform) Dest(src int, rng *xrand.Source) int {
+	d := rng.Intn(u.n - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+type bitPattern struct {
+	name string
+	n, b int
+}
+
+func (p bitPattern) Name() string { return p.name }
+
+func (p bitPattern) Dest(src int, _ *xrand.Source) int {
+	s := uint(src)
+	switch p.name {
+	case "transpose":
+		half := p.b / 2
+		lo := s & (1<<half - 1)
+		hi := s >> half
+		return int(lo<<half | hi)
+	case "bitcomp":
+		return int(^s & (1<<p.b - 1))
+	case "bitrev":
+		r := uint(0)
+		for i := 0; i < p.b; i++ {
+			r = r<<1 | (s>>i)&1
+		}
+		return int(r)
+	case "shuffle":
+		msb := (s >> (p.b - 1)) & 1
+		return int((s<<1)&(1<<p.b-1) | msb)
+	default:
+		panic("traffic: bad bit pattern")
+	}
+}
+
+type tornado struct{ n int }
+
+func (t tornado) Name() string { return "tornado" }
+
+// Dest sends halfway around the terminal ring.
+func (t tornado) Dest(src int, _ *xrand.Source) int {
+	return (src + t.n/2) % t.n
+}
+
+type neighbor struct{ n int }
+
+func (nb neighbor) Name() string { return "neighbor" }
+
+func (nb neighbor) Dest(src int, _ *xrand.Source) int { return (src + 1) % nb.n }
+
+// Generator produces the per-terminal injection process of §3.2: new request
+// transactions arrive according to a geometric (Bernoulli-per-cycle) process
+// whose rate is derived from the target flit injection rate, with read and
+// write transactions equally likely.
+type Generator struct {
+	// Pattern chooses destinations.
+	Pattern Pattern
+	// InjectionRate is the offered load in flits per cycle per terminal,
+	// counting both request and reply flits as in the paper's figures.
+	InjectionRate float64
+	// ReadFraction is the probability a transaction is a read (default 0.5
+	// when constructed via NewGenerator).
+	ReadFraction float64
+}
+
+// NewGenerator builds a generator with the paper's defaults.
+func NewGenerator(p Pattern, injectionRate float64) *Generator {
+	return &Generator{Pattern: p, InjectionRate: injectionRate, ReadFraction: 0.5}
+}
+
+// TransactionRate returns the per-terminal probability of starting a new
+// transaction in a cycle. Every transaction eventually injects
+// FlitsPerTransaction flits network-wide (request at the source, reply at
+// the destination), so the transaction rate is the flit rate divided by six.
+func (g *Generator) TransactionRate() float64 {
+	return g.InjectionRate / FlitsPerTransaction
+}
+
+// NextRequest rolls the injection process for one terminal-cycle. It
+// returns (packetType, dest, true) when a new request transaction starts.
+func (g *Generator) NextRequest(src int, rng *xrand.Source) (PacketType, int, bool) {
+	if !rng.Bool(g.TransactionRate()) {
+		return 0, 0, false
+	}
+	t := WriteRequest
+	if rng.Bool(g.ReadFraction) {
+		t = ReadRequest
+	}
+	return t, g.Pattern.Dest(src, rng), true
+}

@@ -1,0 +1,195 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestPacketTypeProperties(t *testing.T) {
+	cases := []struct {
+		typ   PacketType
+		flits int
+		class int
+		isReq bool
+	}{
+		{ReadRequest, 1, 0, true},
+		{ReadReply, 5, 1, false},
+		{WriteRequest, 5, 0, true},
+		{WriteReply, 1, 1, false},
+	}
+	for _, c := range cases {
+		if c.typ.Flits() != c.flits {
+			t.Errorf("%v.Flits() = %d, want %d", c.typ, c.typ.Flits(), c.flits)
+		}
+		if c.typ.MessageClass() != c.class {
+			t.Errorf("%v.MessageClass() = %d, want %d", c.typ, c.typ.MessageClass(), c.class)
+		}
+		if c.typ.IsRequest() != c.isReq {
+			t.Errorf("%v.IsRequest() = %v", c.typ, c.typ.IsRequest())
+		}
+	}
+}
+
+func TestReplyTypes(t *testing.T) {
+	if ReadRequest.ReplyType() != ReadReply || WriteRequest.ReplyType() != WriteReply {
+		t.Fatal("wrong reply types")
+	}
+	// A request-reply pair always totals six flits (§4.3.3).
+	for _, req := range []PacketType{ReadRequest, WriteRequest} {
+		if req.Flits()+req.ReplyType().Flits() != FlitsPerTransaction {
+			t.Errorf("%v transaction flit count != %d", req, FlitsPerTransaction)
+		}
+	}
+}
+
+func TestReplyOfReplyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ReadReply.ReplyType()
+}
+
+func TestPacketTypeStrings(t *testing.T) {
+	for _, typ := range []PacketType{ReadRequest, ReadReply, WriteRequest, WriteReply} {
+		if typ.String() == "" {
+			t.Error("empty name")
+		}
+	}
+	if PacketType(9).String() == "" {
+		t.Error("unknown type should render")
+	}
+}
+
+func TestUniformPattern(t *testing.T) {
+	p, err := NewPattern("uniform", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(1)
+	counts := make([]int, 64)
+	const iters = 64 * 1000
+	for i := 0; i < iters; i++ {
+		d := p.Dest(5, rng)
+		if d == 5 || d < 0 || d >= 64 {
+			t.Fatalf("bad destination %d", d)
+		}
+		counts[d]++
+	}
+	want := float64(iters) / 63
+	for d, c := range counts {
+		if d == 5 {
+			continue
+		}
+		if math.Abs(float64(c)-want) > 0.15*want {
+			t.Fatalf("destination %d count %d deviates from uniform %f", d, c, want)
+		}
+	}
+}
+
+func TestPermutationPatterns(t *testing.T) {
+	cases := map[string]map[int]int{
+		// 64 terminals = 6 address bits.
+		"transpose": {0: 0, 1: 8, 9: 9, 63: 63, 2: 16},
+		"bitcomp":   {0: 63, 1: 62, 21: 42},
+		"bitrev":    {0: 0, 1: 32, 3: 48},
+		"shuffle":   {1: 2, 32: 1, 63: 63},
+		"tornado":   {0: 32, 40: 8},
+		"neighbor":  {0: 1, 63: 0},
+	}
+	for name, pairs := range cases {
+		p, err := NewPattern(name, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("%s: Name() = %q", name, p.Name())
+		}
+		for src, want := range pairs {
+			if got := p.Dest(src, nil); got != want {
+				t.Errorf("%s.Dest(%d) = %d, want %d", name, src, got, want)
+			}
+		}
+	}
+}
+
+func TestPermutationsAreBijections(t *testing.T) {
+	for _, name := range []string{"transpose", "bitcomp", "bitrev", "shuffle", "tornado", "neighbor"} {
+		p, err := NewPattern(name, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, 64)
+		for s := 0; s < 64; s++ {
+			d := p.Dest(s, nil)
+			if d < 0 || d >= 64 || seen[d] {
+				t.Fatalf("%s is not a bijection at src %d", name, s)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestPatternErrors(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		n    int
+	}{
+		{"uniform", 1},
+		{"bitcomp", 48},
+		{"transpose", 32}, // 5 address bits, odd
+		{"nosuch", 64},
+	} {
+		if _, err := NewPattern(c.name, c.n); err == nil {
+			t.Errorf("NewPattern(%q, %d) should fail", c.name, c.n)
+		}
+	}
+}
+
+func TestGeneratorRates(t *testing.T) {
+	p, _ := NewPattern("uniform", 64)
+	g := NewGenerator(p, 0.3)
+	if math.Abs(g.TransactionRate()-0.05) > 1e-12 {
+		t.Fatalf("transaction rate %f, want 0.05", g.TransactionRate())
+	}
+	rng := xrand.New(3)
+	const iters = 200000
+	n, reads := 0, 0
+	for i := 0; i < iters; i++ {
+		typ, dst, ok := g.NextRequest(7, rng)
+		if !ok {
+			continue
+		}
+		n++
+		if typ == ReadRequest {
+			reads++
+		} else if typ != WriteRequest {
+			t.Fatalf("generator emitted non-request %v", typ)
+		}
+		if dst == 7 {
+			t.Fatal("self traffic")
+		}
+	}
+	rate := float64(n) / iters
+	if math.Abs(rate-0.05) > 0.005 {
+		t.Fatalf("empirical transaction rate %f, want 0.05", rate)
+	}
+	readFrac := float64(reads) / float64(n)
+	if math.Abs(readFrac-0.5) > 0.03 {
+		t.Fatalf("read fraction %f, want 0.5", readFrac)
+	}
+}
+
+func TestGeneratorZeroRate(t *testing.T) {
+	p, _ := NewPattern("uniform", 8)
+	g := NewGenerator(p, 0)
+	rng := xrand.New(1)
+	for i := 0; i < 1000; i++ {
+		if _, _, ok := g.NextRequest(0, rng); ok {
+			t.Fatal("zero rate generated traffic")
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	s := New(0)
+	var acc uint64
+	for i := 0; i < 100; i++ {
+		acc |= s.Uint64()
+	}
+	if acc == 0 {
+		t.Fatal("zero seed produced all-zero stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	c1 := root.Split(1)
+	c2 := root.Split(2)
+	c1again := root.Split(1)
+	if c1.Uint64() != c1again.Uint64() {
+		t.Fatal("Split must be a pure function of (state, id)")
+	}
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("distinct split ids should give distinct streams")
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Split(5)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Split advanced parent state")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	for n := 1; n <= 17; n++ {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(11)
+	const n, iters = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < iters; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(iters) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("bucket %d count %d deviates >5%% from %f", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %f out of [0,1)", f)
+		}
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	s := New(5)
+	if s.Bool(0) {
+		t.Fatal("Bool(0) must be false")
+	}
+	if !s.Bool(1) {
+		t.Fatal("Bool(1) must be true")
+	}
+	if s.Bool(-0.5) {
+		t.Fatal("Bool(negative) must be false")
+	}
+}
+
+func TestBoolRate(t *testing.T) {
+	s := New(13)
+	const iters = 100000
+	hits := 0
+	for i := 0; i < iters; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / iters
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) empirical rate %f", rate)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(17)
+	const p, iters = 0.25, 50000
+	sum := 0
+	for i := 0; i < iters; i++ {
+		sum += s.Geometric(p)
+	}
+	mean := float64(sum) / iters
+	if math.Abs(mean-1/p) > 0.1*(1/p) {
+		t.Fatalf("Geometric(%f) mean %f, want ~%f", p, mean, 1/p)
+	}
+}
+
+func TestGeometricEdges(t *testing.T) {
+	s := New(1)
+	if got := s.Geometric(1); got != 1 {
+		t.Fatalf("Geometric(1) = %d, want 1", got)
+	}
+	if got := s.Geometric(1.5); got != 1 {
+		t.Fatalf("Geometric(>1) = %d, want 1", got)
+	}
+	if got := s.Geometric(0); got != math.MaxInt {
+		t.Fatalf("Geometric(0) = %d, want MaxInt", got)
+	}
+	if got := s.Geometric(-1); got != math.MaxInt {
+		t.Fatalf("Geometric(<0) = %d, want MaxInt", got)
+	}
+	for i := 0; i < 1000; i++ {
+		if s.Geometric(0.9) < 1 {
+			t.Fatal("Geometric must be >= 1")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(23)
+	p := make([]int, 50)
+	s.Perm(p)
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	s := New(29)
+	const n, iters = 5, 50000
+	counts := make([]int, n)
+	p := make([]int, n)
+	for i := 0; i < iters; i++ {
+		s.Perm(p)
+		counts[p[0]]++
+	}
+	want := float64(iters) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.06*want {
+			t.Fatalf("first-element bucket %d count %d deviates from %f", i, c, want)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= s.Uint64()
+	}
+	_ = acc
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	var acc int
+	for i := 0; i < b.N; i++ {
+		acc ^= s.Intn(160)
+	}
+	_ = acc
+}
