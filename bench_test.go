@@ -39,6 +39,7 @@ func BenchmarkFig05VCAllocAreaDelay(b *testing.B) {
 }
 
 func BenchmarkFig06VCAllocPowerDelay(b *testing.B) {
+	b.ReportAllocs()
 	// Power and area derive from the same synthesis pass; this target keeps
 	// the figure-to-bench mapping one-to-one.
 	tech := repro.Default45nm()
@@ -57,6 +58,7 @@ func BenchmarkFig07VCQuality(b *testing.B) {
 	for _, pt := range experiments.Points() {
 		pt := pt
 		b.Run(pt.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			rates := []float64{0.5}
 			for i := 0; i < b.N; i++ {
 				series := experiments.VCQuality(pt, rates, 50, uint64(i)+1)
@@ -82,6 +84,7 @@ func BenchmarkFig10SwitchAllocAreaDelay(b *testing.B) {
 }
 
 func BenchmarkFig11SwitchAllocPowerDelay(b *testing.B) {
+	b.ReportAllocs()
 	tech := repro.Default45nm()
 	for i := 0; i < b.N; i++ {
 		for _, r := range experiments.SwitchCost(tech) {
@@ -98,6 +101,7 @@ func BenchmarkFig12SwitchQuality(b *testing.B) {
 	for _, pt := range experiments.Points() {
 		pt := pt
 		b.Run(pt.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			rates := []float64{0.5}
 			for i := 0; i < b.N; i++ {
 				series := experiments.SwitchQuality(pt, rates, 50, uint64(i)+1)
@@ -119,6 +123,7 @@ func BenchmarkFig13SwitchAllocatorNetwork(b *testing.B) {
 	for _, pt := range experiments.Points() {
 		pt := pt
 		b.Run(pt.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			rates := []float64{0.2}
 			for i := 0; i < b.N; i++ {
 				series := experiments.Fig13(pt, rates, benchScale)
@@ -134,6 +139,7 @@ func BenchmarkFig14SpeculationNetwork(b *testing.B) {
 	for _, pt := range experiments.Points() {
 		pt := pt
 		b.Run(pt.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			rates := []float64{0.2}
 			for i := 0; i < b.N; i++ {
 				series := experiments.Fig14(pt, rates, benchScale)
@@ -148,6 +154,7 @@ func BenchmarkFig14SpeculationNetwork(b *testing.B) {
 // --- §4.3.3: VC allocator sensitivity sweep ---------------------------------------
 
 func BenchmarkVASweepNetwork(b *testing.B) {
+	b.ReportAllocs()
 	pt, err := experiments.PointByName("mesh", 2)
 	if err != nil {
 		b.Fatal(err)
@@ -182,6 +189,7 @@ func BenchmarkAblationSeparableIterations(b *testing.B) {
 	for _, iters := range []int{1, 2, 4} {
 		iters := iters
 		b.Run(fmt.Sprintf("iters=%d", iters), func(b *testing.B) {
+			b.ReportAllocs()
 			a := repro.NewAllocator(repro.AllocConfig{
 				Arch: repro.SepIF, Rows: 16, Cols: 16, ArbKind: repro.RoundRobin, Iterations: iters,
 			})
@@ -199,6 +207,7 @@ func BenchmarkAblationSeparableIterations(b *testing.B) {
 func BenchmarkAblationWavefrontImpl(b *testing.B) {
 	tech := repro.Default45nm()
 	b.Run("replicated", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if tech.WavefrontGE(40) <= tech.WavefrontCustomGE(40) {
 				b.Fatal("replicated must cost more")
@@ -206,6 +215,7 @@ func BenchmarkAblationWavefrontImpl(b *testing.B) {
 		}
 	})
 	b.Run("custom", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = tech.WavefrontCustomDelay(40)
 		}
@@ -220,12 +230,14 @@ func BenchmarkAblationTreeArbiter(b *testing.B) {
 		req.Set(i)
 	}
 	b.Run("flat160", func(b *testing.B) {
+		b.ReportAllocs()
 		a := repro.NewArbiter(repro.RoundRobin, 160)
 		for i := 0; i < b.N; i++ {
 			a.Pick(req)
 		}
 	})
 	b.Run("tree10x16", func(b *testing.B) {
+		b.ReportAllocs()
 		a := repro.NewTreeArbiter(repro.RoundRobin, 10, 16)
 		for i := 0; i < b.N; i++ {
 			a.Pick(req)
@@ -275,6 +287,7 @@ func BenchmarkAblationSpeculationModes(b *testing.B) {
 	for _, mode := range []repro.SpecMode{repro.SpecNone, repro.SpecReq, repro.SpecGnt} {
 		mode := mode
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			a := repro.NewSwitchAllocator(repro.SwitchAllocConfig{
 				Ports: 10, VCs: 16, Arch: repro.SepIF, ArbKind: repro.RoundRobin, SpecMode: mode,
 			})
@@ -331,6 +344,7 @@ func BenchmarkAblationFreeQueueVsMatching(b *testing.B) {
 	} {
 		cfg := cfg
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			a := repro.NewVCAllocator(cfg.c)
 			for i := 0; i < b.N; i++ {
 				a.Allocate(reqs)
@@ -356,6 +370,7 @@ func BenchmarkAblationPrecomputedSwitch(b *testing.B) {
 			name = "precomputed"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			a := repro.NewSwitchAllocator(repro.SwitchAllocConfig{Ports: 10, VCs: 8,
 				Arch: repro.SepIF, ArbKind: repro.RoundRobin, Precomputed: pre})
 			for i := 0; i < b.N; i++ {
@@ -372,6 +387,7 @@ func BenchmarkAblationIncrementalSteps(b *testing.B) {
 	for _, steps := range []int{1, 4, 16} {
 		steps := steps
 		b.Run(fmt.Sprintf("steps=%d", steps), func(b *testing.B) {
+			b.ReportAllocs()
 			a := repro.NewIncrementalAllocator(16, 16, steps)
 			for i := 0; i < b.N; i++ {
 				a.Allocate(req)
@@ -379,6 +395,7 @@ func BenchmarkAblationIncrementalSteps(b *testing.B) {
 		})
 	}
 	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
 		a := repro.NewAllocator(repro.AllocConfig{Arch: repro.Maximum, Rows: 16, Cols: 16})
 		for i := 0; i < b.N; i++ {
 			a.Allocate(req)
@@ -388,6 +405,7 @@ func BenchmarkAblationIncrementalSteps(b *testing.B) {
 
 // BenchmarkTorusDatelineNetwork exercises the torus extension end to end.
 func BenchmarkTorusDatelineNetwork(b *testing.B) {
+	b.ReportAllocs()
 	topo := repro.Torus(8)
 	spec := repro.NewVCSpec(2, 2, 1)
 	spec.ResourceSucc = repro.TorusResourceSucc()

@@ -14,8 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 	"repro/internal/quality"
 )
 
@@ -25,8 +27,14 @@ func main() {
 	c := flag.Int("c", 1, "VCs per class (1, 2 or 4)")
 	trials := flag.Int("trials", 10000, "request matrices per rate point")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrently swept rate points (results are identical for any value)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stop := prof.Start(*cpuprofile, *memprofile)
+	defer stop()
 
 	pt, err := experiments.PointByName(*topo, *c)
 	if err != nil {
@@ -42,13 +50,13 @@ func main() {
 		if !*asJSON {
 			fmt.Printf("VC allocator matching quality (Fig. 7), %s, %d trials/point\n", pt, *trials)
 		}
-		series = experiments.VCQuality(pt, rates, *trials, *seed)
+		series = experiments.VCQualityN(pt, rates, *trials, *seed, *workers)
 	case "sw":
 		figure = "fig12"
 		if !*asJSON {
 			fmt.Printf("switch allocator matching quality (Fig. 12), %s, %d trials/point\n", pt, *trials)
 		}
-		series = experiments.SwitchQuality(pt, rates, *trials, *seed)
+		series = experiments.SwitchQualityN(pt, rates, *trials, *seed, *workers)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown unit %q (want vc or sw)\n", *unit)
 		os.Exit(1)

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/experiments"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -32,7 +33,12 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	workers := flag.Int("workers", 4, "concurrent simulations per curve")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stop := prof.Start(*cpuprofile, *memprofile)
+	defer stop()
 
 	pt, err := experiments.PointByName(*topo, *c)
 	if err != nil {

@@ -17,14 +17,20 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/experiments"
+	"repro/internal/prof"
 	"repro/internal/quality"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced trials and cycles")
-	workers := flag.Int("workers", 4, "concurrent simulations per curve")
+	workers := flag.Int("workers", 4, "concurrent simulations (or quality rate points) per curve")
 	only := flag.String("only", "", "restrict to one experiment: fig4, fig5, fig6, fig7, fig10, fig11, fig12, fig13, fig14, vasweep, summary")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stop := prof.Start(*cpuprofile, *memprofile)
+	defer stop()
 
 	trials := 10000
 	scale := experiments.DefaultScale()
@@ -65,7 +71,7 @@ func main() {
 		section("Fig. 7: VC allocator matching quality")
 		for _, pt := range experiments.Points() {
 			fmt.Printf("-- %s --\n", pt)
-			fmt.Print(quality.FormatSeries(experiments.VCQuality(pt, sparseRates(), trials, 1)))
+			fmt.Print(quality.FormatSeries(experiments.VCQualityN(pt, sparseRates(), trials, 1, *workers)))
 		}
 	}
 
@@ -85,7 +91,7 @@ func main() {
 		section("Fig. 12: switch allocator matching quality")
 		for _, pt := range experiments.Points() {
 			fmt.Printf("-- %s --\n", pt)
-			fmt.Print(quality.FormatSeries(experiments.SwitchQuality(pt, sparseRates(), trials, 1)))
+			fmt.Print(quality.FormatSeries(experiments.SwitchQualityN(pt, sparseRates(), trials, 1, *workers)))
 		}
 	}
 

@@ -175,24 +175,18 @@ func (a *sepIF) Reset() {
 func (a *sepIF) Allocate(req *bitvec.Matrix) *bitvec.Matrix {
 	checkShape(req, a.rows, a.cols)
 	a.gnt.Reset()
-	for i := 0; i < a.rows; i++ {
-		a.rowFree.Set(i)
-	}
-	for j := 0; j < a.cols; j++ {
-		a.colFree.Set(j)
-	}
+	a.rowFree.SetAll()
+	a.colFree.SetAll()
 	for it := 0; it < a.iters; it++ {
 		// Input stage: each unmatched row picks one requested free column.
 		picked := false
 		for j := 0; j < a.cols; j++ {
 			a.fwd[j].Reset()
 		}
-		for i := 0; i < a.rows; i++ {
-			if !a.rowFree.Get(i) {
+		for i := a.rowFree.NextSet(0); i >= 0; i = a.rowFree.NextSet(i + 1) {
+			if !a.rowReq.AndInto(req.Row(i), a.colFree) {
 				continue
 			}
-			a.rowReq.CopyFrom(req.Row(i))
-			a.rowReq.And(a.colFree)
 			c := a.inArb[i].Pick(a.rowReq)
 			if c < 0 {
 				continue
@@ -207,9 +201,9 @@ func (a *sepIF) Allocate(req *bitvec.Matrix) *bitvec.Matrix {
 		if !picked {
 			break
 		}
-		// Output stage: each column arbitrates among forwarded requests.
-		for j := 0; j < a.cols; j++ {
-			if !a.colFree.Get(j) || !a.fwd[j].Any() {
+		// Output stage: each free column arbitrates among forwarded requests.
+		for j := a.colFree.NextSet(0); j >= 0; j = a.colFree.NextSet(j + 1) {
+			if !a.fwd[j].Any() {
 				continue
 			}
 			w := a.outArb[j].Pick(a.fwd[j])
@@ -245,7 +239,8 @@ type sepOF struct {
 	gnt        *bitvec.Matrix
 	rowFree    *bitvec.Vec
 	colFree    *bitvec.Vec
-	colReq     *bitvec.Vec
+	colReq     []*bitvec.Vec // per col, rows wide: requesting free rows
+	colAny     *bitvec.Vec   // cols whose colReq vector is dirty
 }
 
 func newSepOF(c Config) *sepOF {
@@ -261,10 +256,12 @@ func newSepOF(c Config) *sepOF {
 		gnt:     bitvec.NewMatrix(c.Rows, c.Cols),
 		rowFree: bitvec.New(c.Rows),
 		colFree: bitvec.New(c.Cols),
-		colReq:  bitvec.New(c.Rows),
+		colReq:  make([]*bitvec.Vec, c.Cols),
+		colAny:  bitvec.New(c.Cols),
 	}
 	for j := range a.outArb {
 		a.outArb[j] = arbiter.New(c.ArbKind, c.Rows)
+		a.colReq[j] = bitvec.New(c.Rows)
 	}
 	for i := range a.inArb {
 		a.inArb[i] = arbiter.New(c.ArbKind, c.Cols)
@@ -288,31 +285,35 @@ func (a *sepOF) Reset() {
 func (a *sepOF) Allocate(req *bitvec.Matrix) *bitvec.Matrix {
 	checkShape(req, a.rows, a.cols)
 	a.gnt.Reset()
-	for i := 0; i < a.rows; i++ {
-		a.rowFree.Set(i)
-	}
-	for j := 0; j < a.cols; j++ {
-		a.colFree.Set(j)
-	}
-	colPick := make([]int, a.cols)
+	a.rowFree.SetAll()
+	a.colFree.SetAll()
 	for it := 0; it < a.iters; it++ {
-		for i := 0; i < a.rows; i++ {
+		// Clear the per-column request vectors dirtied by the previous
+		// iteration (or the previous Allocate call).
+		for j := a.colAny.NextSet(0); j >= 0; j = a.colAny.NextSet(j + 1) {
+			a.colReq[j].Reset()
+		}
+		a.colAny.Reset()
+		// Transpose the requests of free rows into per-column vectors.
+		// The output stage consumes no rows or columns, so building them
+		// all up front is equivalent to the per-column scan.
+		for i := a.rowFree.NextSet(0); i >= 0; i = a.rowFree.NextSet(i + 1) {
 			a.offered[i].Reset()
+			row := req.Row(i)
+			for j := row.NextSet(0); j >= 0; j = row.NextSet(j + 1) {
+				if a.colFree.Get(j) {
+					a.colReq[j].Set(i)
+					a.colAny.Set(j)
+				}
+			}
+		}
+		if !a.colAny.Any() {
+			break
 		}
 		// Output stage: each free column picks one requesting free row.
 		picked := false
-		for j := 0; j < a.cols; j++ {
-			colPick[j] = -1
-			if !a.colFree.Get(j) {
-				continue
-			}
-			a.colReq.Reset()
-			for i := 0; i < a.rows; i++ {
-				if a.rowFree.Get(i) && req.Get(i, j) {
-					a.colReq.Set(i)
-				}
-			}
-			w := a.outArb[j].Pick(a.colReq)
+		for j := a.colAny.NextSet(0); j >= 0; j = a.colAny.NextSet(j + 1) {
+			w := a.outArb[j].Pick(a.colReq[j])
 			if w < 0 {
 				continue
 			}
@@ -320,16 +321,15 @@ func (a *sepOF) Allocate(req *bitvec.Matrix) *bitvec.Matrix {
 				// Ablation: naive policy updates on every first-stage grant.
 				a.outArb[j].Update(w)
 			}
-			colPick[j] = w
 			a.offered[w].Set(j)
 			picked = true
 		}
 		if !picked {
 			break
 		}
-		// Input stage: each row picks among the columns offered to it.
-		for i := 0; i < a.rows; i++ {
-			if !a.rowFree.Get(i) || !a.offered[i].Any() {
+		// Input stage: each free row picks among the columns offered to it.
+		for i := a.rowFree.NextSet(0); i >= 0; i = a.rowFree.NextSet(i + 1) {
+			if !a.offered[i].Any() {
 				continue
 			}
 			c := a.inArb[i].Pick(a.offered[i])
@@ -360,6 +360,9 @@ type wavefront struct {
 	gnt        *bitvec.Matrix
 	rowFree    *bitvec.Vec
 	colFree    *bitvec.Vec
+	diagRows   []*bitvec.Vec // per diagonal class, rows wide: rows requesting on it
+	diagAny    *bitvec.Vec   // diagonal classes whose diagRows vector is dirty
+	wave       *bitvec.Vec   // scratch: diagRows[d] & rowFree
 }
 
 // NewWavefront returns a rows×cols wavefront allocator.
@@ -368,14 +371,21 @@ func NewWavefront(rows, cols int) Allocator {
 	if cols > n {
 		n = cols
 	}
-	return &wavefront{
-		rows:    rows,
-		cols:    cols,
-		n:       n,
-		gnt:     bitvec.NewMatrix(rows, cols),
-		rowFree: bitvec.New(rows),
-		colFree: bitvec.New(cols),
+	a := &wavefront{
+		rows:     rows,
+		cols:     cols,
+		n:        n,
+		gnt:      bitvec.NewMatrix(rows, cols),
+		rowFree:  bitvec.New(rows),
+		colFree:  bitvec.New(cols),
+		diagRows: make([]*bitvec.Vec, n),
+		diagAny:  bitvec.New(n),
+		wave:     bitvec.New(rows),
 	}
+	for d := range a.diagRows {
+		a.diagRows[d] = bitvec.New(rows)
+	}
+	return a
 }
 
 func (a *wavefront) Shape() (int, int) { return a.rows, a.cols }
@@ -385,23 +395,34 @@ func (a *wavefront) Reset()            { a.prio = 0 }
 func (a *wavefront) Allocate(req *bitvec.Matrix) *bitvec.Matrix {
 	checkShape(req, a.rows, a.cols)
 	a.gnt.Reset()
-	for i := 0; i < a.rows; i++ {
-		a.rowFree.Set(i)
+	a.rowFree.SetAll()
+	a.colFree.SetAll()
+	// Bucket requests by diagonal class. Since n >= cols, each row has at
+	// most one column on any diagonal: (i, j) lies on class (i + j) mod n,
+	// and j is recoverable from (class, i).
+	for d := a.diagAny.NextSet(0); d >= 0; d = a.diagAny.NextSet(d + 1) {
+		a.diagRows[d].Reset()
 	}
-	for j := 0; j < a.cols; j++ {
-		a.colFree.Set(j)
+	a.diagAny.Reset()
+	for i := 0; i < a.rows; i++ {
+		row := req.Row(i)
+		for j := row.NextSet(0); j >= 0; j = row.NextSet(j + 1) {
+			d := (i + j) % a.n
+			a.diagRows[d].Set(i)
+			a.diagAny.Set(d)
+		}
 	}
 	for k := 0; k < a.n; k++ {
 		d := (a.prio + k) % a.n
-		// Entries on diagonal class d: (i, j) with (i + j) mod n == d.
-		for i := 0; i < a.rows; i++ {
+		if !a.wave.AndInto(a.diagRows[d], a.rowFree) {
+			continue
+		}
+		for i := a.wave.NextSet(0); i >= 0; i = a.wave.NextSet(i + 1) {
 			j := (d - i%a.n + a.n) % a.n
-			for ; j < a.cols; j += a.n {
-				if req.Get(i, j) && a.rowFree.Get(i) && a.colFree.Get(j) {
-					a.gnt.Set(i, j)
-					a.rowFree.Clear(i)
-					a.colFree.Clear(j)
-				}
+			if a.colFree.Get(j) {
+				a.gnt.Set(i, j)
+				a.rowFree.Clear(i)
+				a.colFree.Clear(j)
 			}
 		}
 	}
@@ -446,6 +467,9 @@ func (a *maximum) Allocate(req *bitvec.Matrix) *bitvec.Matrix {
 		a.matchCol[j] = -1
 	}
 	for i := 0; i < a.rows; i++ {
+		if !req.Row(i).Any() {
+			continue
+		}
 		for j := range a.visited {
 			a.visited[j] = false
 		}
@@ -462,19 +486,19 @@ func (a *maximum) Allocate(req *bitvec.Matrix) *bitvec.Matrix {
 
 // augment searches for an augmenting path from row i (Kuhn's algorithm).
 func (a *maximum) augment(req *bitvec.Matrix, i int) bool {
-	found := false
-	req.Row(i).ForEach(func(j int) {
-		if found || a.visited[j] {
-			return
+	row := req.Row(i)
+	for j := row.NextSet(0); j >= 0; j = row.NextSet(j + 1) {
+		if a.visited[j] {
+			continue
 		}
 		a.visited[j] = true
 		if a.matchCol[j] < 0 || a.augment(req, a.matchCol[j]) {
 			a.matchCol[j] = i
 			a.matchRow[i] = j
-			found = true
+			return true
 		}
-	})
-	return found
+	}
+	return false
 }
 
 // MatchSize returns the number of grants in a maximum matching of req

@@ -109,13 +109,19 @@ func (a *RoundRobinArbiter) Update(winner int) {
 // Reset implements Arbiter.
 func (a *RoundRobinArbiter) Reset() { a.ptr = 0 }
 
-// MatrixArbiter implements Tamir & Chi's matrix arbiter: state w[i][j] means
-// input i beats input j. The winner is the requesting input that beats every
-// other requesting input; on Update the winner's rows/columns are flipped so
-// it becomes lowest priority against everyone (least-recently-served).
+// MatrixArbiter implements Tamir & Chi's matrix arbiter: the priority state
+// says, for every ordered pair, whether input i beats input j. The winner is
+// the requesting input that beats every other requesting input; on Update the
+// winner's rows/columns are flipped so it becomes lowest priority against
+// everyone (least-recently-served).
+//
+// The state is held as one bit vector per input (beats[i] = the set of
+// inputs i currently beats), so the winner test "does i beat every other
+// requester" is a word-parallel req &^ beats[i] instead of a per-bit scan.
 type MatrixArbiter struct {
-	n int
-	w []bool // w[i*n+j], i beats j; only i != j meaningful
+	n     int
+	beats []*bitvec.Vec // beats[i].Get(j): i beats j; only i != j meaningful
+	loses *bitvec.Vec   // scratch: requesters i does not beat
 }
 
 // NewMatrix returns an n-input matrix arbiter with initial priority order
@@ -124,7 +130,10 @@ func NewMatrix(n int) *MatrixArbiter {
 	if n <= 0 {
 		panic("arbiter: size must be positive")
 	}
-	a := &MatrixArbiter{n: n, w: make([]bool, n*n)}
+	a := &MatrixArbiter{n: n, beats: make([]*bitvec.Vec, n), loses: bitvec.New(n)}
+	for i := range a.beats {
+		a.beats[i] = bitvec.New(n)
+	}
 	a.Reset()
 	return a
 }
@@ -132,27 +141,26 @@ func NewMatrix(n int) *MatrixArbiter {
 // Size implements Arbiter.
 func (a *MatrixArbiter) Size() int { return a.n }
 
+// Beats reports the priority state bit "input i beats input j"; meaningful
+// only for i != j. Exposed for invariant tests.
+func (a *MatrixArbiter) Beats(i, j int) bool { return a.beats[i].Get(j) }
+
 // Pick implements Arbiter.
 func (a *MatrixArbiter) Pick(req *bitvec.Vec) int {
 	if req.Len() != a.n {
 		panic(fmt.Sprintf("arbiter: request width %d, arbiter width %d", req.Len(), a.n))
 	}
-	winner := -1
-	req.ForEach(func(i int) {
-		if winner != -1 {
-			return
+	for i := req.NextSet(0); i >= 0; i = req.NextSet(i + 1) {
+		// i wins when the requesters it fails to beat are exactly {i}
+		// (the diagonal bit is never set, so i always survives the mask).
+		if !a.loses.AndNotInto(req, a.beats[i]) {
+			return i // unreachable for a valid tournament, kept for safety
 		}
-		ok := true
-		req.ForEach(func(j int) {
-			if i != j && !a.w[i*a.n+j] {
-				ok = false
-			}
-		})
-		if ok {
-			winner = i
+		if a.loses.Count() == 1 {
+			return i
 		}
-	})
-	return winner
+	}
+	return -1
 }
 
 // Update implements Arbiter.
@@ -164,16 +172,17 @@ func (a *MatrixArbiter) Update(winner int) {
 		if j == winner {
 			continue
 		}
-		a.w[winner*a.n+j] = false // winner now loses to everyone
-		a.w[j*a.n+winner] = true  // everyone now beats winner
+		a.beats[winner].Clear(j) // winner now loses to everyone
+		a.beats[j].Set(winner)   // everyone now beats winner
 	}
 }
 
 // Reset implements Arbiter.
 func (a *MatrixArbiter) Reset() {
-	for i := 0; i < a.n; i++ {
-		for j := 0; j < a.n; j++ {
-			a.w[i*a.n+j] = i < j
+	for i, b := range a.beats {
+		b.Reset()
+		for j := i + 1; j < a.n; j++ {
+			b.Set(j)
 		}
 	}
 }
@@ -225,28 +234,18 @@ func (t *TreeArbiter) Pick(req *bitvec.Vec) int {
 		panic(fmt.Sprintf("arbiter: request width %d, arbiter width %d", req.Len(), t.Size()))
 	}
 	t.rootReq.Reset()
-	for g := 0; g < t.groups; g++ {
-		any := false
-		for i := 0; i < t.groupSize; i++ {
-			if req.Get(g*t.groupSize + i) {
-				any = true
-				break
-			}
-		}
-		if any {
-			t.rootReq.Set(g)
-		}
+	// One word scan over the set bits: each hit marks its group and jumps
+	// straight to the next group boundary.
+	for b := req.NextSet(0); b >= 0; {
+		g := b / t.groupSize
+		t.rootReq.Set(g)
+		b = req.NextSet((g + 1) * t.groupSize)
 	}
 	g := t.root.Pick(t.rootReq)
 	if g < 0 {
 		return -1
 	}
-	t.leafReq.Reset()
-	for i := 0; i < t.groupSize; i++ {
-		if req.Get(g*t.groupSize + i) {
-			t.leafReq.Set(i)
-		}
-	}
+	t.leafReq.SliceFrom(req, g*t.groupSize)
 	w := t.leaves[g].Pick(t.leafReq)
 	if w < 0 {
 		return -1

@@ -389,7 +389,7 @@ func TestQuickMatrixTournamentInvariant(t *testing.T) {
 				if i == j {
 					continue
 				}
-				if a.w[i*6+j] == a.w[j*6+i] {
+				if a.Beats(i, j) == a.Beats(j, i) {
 					t.Fatalf("tournament violated at (%d,%d)", i, j)
 				}
 			}
@@ -426,7 +426,7 @@ func TestQuickMatrixWinnerUnique(t *testing.T) {
 		r.ForEach(func(i int) {
 			ok := true
 			r.ForEach(func(j int) {
-				if i != j && !a.w[i*8+j] {
+				if i != j && !a.Beats(i, j) {
 					ok = false
 				}
 			})

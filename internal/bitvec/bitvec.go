@@ -113,6 +113,31 @@ func (v *Vec) First() int {
 	return -1
 }
 
+// NextSet returns the index of the lowest set bit >= i, or -1 if no set bit
+// exists at or above i. Unlike NextFrom it does not wrap. Together with
+// TrailingZeros64 word scans it is the primitive for iterating set bits
+// without per-bit Get calls:
+//
+//	for i := v.NextSet(0); i >= 0; i = v.NextSet(i + 1) { ... }
+func (v *Vec) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= v.n {
+		return -1
+	}
+	wi := i / wordBits
+	if w := v.words[wi] >> (uint(i) % wordBits); w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(v.words); wi++ {
+		if w := v.words[wi]; w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
 // NextFrom returns the index of the lowest set bit >= i, wrapping around to
 // the start of the vector if none is found at or above i. Returns -1 if the
 // vector is empty of set bits. This is the primitive behind round-robin
@@ -124,23 +149,18 @@ func (v *Vec) NextFrom(i int) int {
 	if i < 0 || i >= v.n {
 		i = 0
 	}
+	if b := v.NextSet(i); b >= 0 {
+		return b
+	}
+	// Wrap: lowest set bit strictly below i.
 	wi := i / wordBits
-	w := v.words[wi] >> (uint(i) % wordBits)
-	if w != 0 {
-		return i + bits.TrailingZeros64(w)
-	}
-	for k := wi + 1; k < len(v.words); k++ {
-		if v.words[k] != 0 {
-			return k*wordBits + bits.TrailingZeros64(v.words[k])
+	for k := 0; k < wi; k++ {
+		if w := v.words[k]; w != 0 {
+			return k*wordBits + bits.TrailingZeros64(w)
 		}
 	}
-	for k := 0; k <= wi; k++ {
-		if v.words[k] != 0 {
-			b := k*wordBits + bits.TrailingZeros64(v.words[k])
-			if k < wi || b < i {
-				return b
-			}
-		}
+	if w := v.words[wi] & (1<<(uint(i)%wordBits) - 1); w != 0 {
+		return wi*wordBits + bits.TrailingZeros64(w)
 	}
 	return -1
 }
@@ -184,6 +204,82 @@ func (v *Vec) AndNot(o *Vec) {
 	for i := range v.words {
 		v.words[i] &^= o.words[i]
 	}
+}
+
+// AndInto sets v = a & b in a single pass and reports whether any bit is
+// set, fusing the CopyFrom+And+Any sequence allocator hot loops otherwise
+// need. Panics if lengths differ.
+func (v *Vec) AndInto(a, b *Vec) bool {
+	if v.n != a.n || v.n != b.n {
+		panic("bitvec: length mismatch")
+	}
+	var acc uint64
+	for i := range v.words {
+		w := a.words[i] & b.words[i]
+		v.words[i] = w
+		acc |= w
+	}
+	return acc != 0
+}
+
+// AndNotInto sets v = a &^ b in a single pass and reports whether any bit is
+// set. Panics if lengths differ.
+func (v *Vec) AndNotInto(a, b *Vec) bool {
+	if v.n != a.n || v.n != b.n {
+		panic("bitvec: length mismatch")
+	}
+	var acc uint64
+	for i := range v.words {
+		w := a.words[i] &^ b.words[i]
+		v.words[i] = w
+		acc |= w
+	}
+	return acc != 0
+}
+
+// SetAll sets every bit in [0, Len()).
+func (v *Vec) SetAll() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.maskTail()
+}
+
+// maskTail clears the unused high bits of the last word so that word-level
+// reductions (Any, Count, acc |= ...) never see bits beyond Len().
+func (v *Vec) maskTail() {
+	if tail := uint(v.n) % wordBits; tail != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= 1<<tail - 1
+	}
+}
+
+// SliceFrom fills v with bits [off, off+v.Len()) of src using word shifts
+// and reports whether any bit is set. Panics when the range does not fit in
+// src. It is the word-parallel form of the per-bit Get/Set copy loops used
+// to extract a class window from a wider candidate vector.
+func (v *Vec) SliceFrom(src *Vec, off int) bool {
+	if off < 0 || off+v.n > src.n {
+		panic(fmt.Sprintf("bitvec: slice [%d,%d) out of range [0,%d)", off, off+v.n, src.n))
+	}
+	sw := off / wordBits
+	shift := uint(off) % wordBits
+	if shift == 0 {
+		copy(v.words, src.words[sw:sw+len(v.words)])
+	} else {
+		for i := range v.words {
+			w := src.words[sw+i] >> shift
+			if sw+i+1 < len(src.words) {
+				w |= src.words[sw+i+1] << (wordBits - shift)
+			}
+			v.words[i] = w
+		}
+	}
+	v.maskTail()
+	var acc uint64
+	for _, w := range v.words {
+		acc |= w
+	}
+	return acc != 0
 }
 
 // Equal reports whether v and o have identical length and contents.

@@ -1,0 +1,135 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVecNextSet(t *testing.T) {
+	v := New(200)
+	if v.NextSet(0) != -1 {
+		t.Fatal("empty vector NextSet should be -1")
+	}
+	for _, i := range []int{0, 63, 64, 130, 199} {
+		v.Set(i)
+	}
+	cases := []struct{ from, want int }{
+		{0, 0}, {1, 63}, {63, 63}, {64, 64}, {65, 130}, {131, 199}, {199, 199}, {200, -1},
+	}
+	for _, c := range cases {
+		if got := v.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := v.NextSet(-5); got != 0 {
+		t.Errorf("NextSet(-5) = %d, want 0", got)
+	}
+}
+
+func TestVecNextSetMatchesForEach(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		v := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				v.Set(i)
+			}
+		}
+		var want []int
+		v.ForEach(func(i int) { want = append(want, i) })
+		var got []int
+		for i := v.NextSet(0); i >= 0; i = v.NextSet(i + 1) {
+			got = append(got, i)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: NextSet visited %d bits, ForEach %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: NextSet order %v, want %v", n, got, want)
+			}
+		}
+	}
+}
+
+func TestVecSetAll(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 130} {
+		v := New(n)
+		v.SetAll()
+		if v.Count() != n {
+			t.Fatalf("n=%d: SetAll Count = %d", n, v.Count())
+		}
+		// The tail word must stay masked so Count/Any remain correct.
+		v.Clear(n - 1)
+		if v.Count() != n-1 {
+			t.Fatalf("n=%d: Count after Clear = %d, want %d", n, v.Count(), n-1)
+		}
+	}
+}
+
+func TestVecAndIntoAndNotInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		wantAnd := a.Clone()
+		wantAnd.And(b)
+		wantAndNot := a.Clone()
+		wantAndNot.AndNot(b)
+
+		dst := New(n)
+		if any := dst.AndInto(a, b); any != wantAnd.Any() {
+			t.Fatalf("n=%d: AndInto any = %v, want %v", n, any, wantAnd.Any())
+		}
+		if !dst.Equal(wantAnd) {
+			t.Fatalf("n=%d: AndInto = %s, want %s", n, dst, wantAnd)
+		}
+		if any := dst.AndNotInto(a, b); any != wantAndNot.Any() {
+			t.Fatalf("n=%d: AndNotInto any = %v, want %v", n, any, wantAndNot.Any())
+		}
+		if !dst.Equal(wantAndNot) {
+			t.Fatalf("n=%d: AndNotInto = %s, want %s", n, dst, wantAndNot)
+		}
+	}
+}
+
+func TestVecSliceFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		srcN := 1 + rng.Intn(400)
+		src := New(srcN)
+		for i := 0; i < srcN; i++ {
+			if rng.Intn(3) == 0 {
+				src.Set(i)
+			}
+		}
+		w := 1 + rng.Intn(srcN)
+		off := rng.Intn(srcN - w + 1)
+		dst := New(w)
+		any := dst.SliceFrom(src, off)
+		wantAny := false
+		for c := 0; c < w; c++ {
+			want := src.Get(off + c)
+			wantAny = wantAny || want
+			if dst.Get(c) != want {
+				t.Fatalf("srcN=%d off=%d w=%d: bit %d = %v, want %v",
+					srcN, off, w, c, dst.Get(c), want)
+			}
+		}
+		if any != wantAny {
+			t.Fatalf("srcN=%d off=%d w=%d: any = %v, want %v", srcN, off, w, any, wantAny)
+		}
+		if got := dst.Count(); got > w {
+			t.Fatalf("tail word not masked: Count = %d > width %d", got, w)
+		}
+	}
+}

@@ -156,11 +156,15 @@ type vcEngine struct {
 	wfReq *bitvec.Matrix
 
 	// Scratch.
-	cand   *bitvec.Vec   // w wide
-	bids   []*bitvec.Vec // per output VC in range, P·w wide (sep_if stage 2)
-	bidVC  []int         // per input VC in range: chosen local candidate (sep_if)
-	offers []*bitvec.Vec // per input VC in range, w wide (sep_of stage 2)
-	outReq *bitvec.Vec   // P·w wide (sep_of stage 1)
+	cand    *bitvec.Vec   // w wide
+	bids    []*bitvec.Vec // per output VC in range, P·w wide (sep_if stage 2)
+	bidsAny *bitvec.Vec   // output VCs with at least one bid (sep_if)
+	bidVC   []int         // per input VC in range: chosen local candidate (sep_if)
+	offers  []*bitvec.Vec // per input VC in range, w wide (sep_of stage 2)
+	offAny  *bitvec.Vec   // input VCs with at least one offer (sep_of)
+	reqTo   []*bitvec.Vec // per output VC in range, P·w wide (sep_of stage 1)
+	outAny  *bitvec.Vec   // output VCs whose reqTo vector is dirty (sep_of)
+	wfRows  *bitvec.Vec   // rows of wfReq that are dirty (wavefront)
 }
 
 func newVCEngine(cfg VCAllocConfig, off, w int) *vcEngine {
@@ -171,6 +175,7 @@ func newVCEngine(cfg VCAllocConfig, off, w int) *vcEngine {
 		e.inArb = make([]arbiter.Arbiter, p*w)
 		e.outArb = make([]arbiter.Arbiter, p*w)
 		e.bids = make([]*bitvec.Vec, p*w)
+		e.bidsAny = bitvec.New(p * w)
 		e.bidVC = make([]int, p*w)
 		for i := range e.inArb {
 			e.inArb[i] = arbiter.New(cfg.ArbKind, w)
@@ -181,15 +186,19 @@ func newVCEngine(cfg VCAllocConfig, off, w int) *vcEngine {
 		e.inArb = make([]arbiter.Arbiter, p*w)
 		e.outArb = make([]arbiter.Arbiter, p*w)
 		e.offers = make([]*bitvec.Vec, p*w)
+		e.offAny = bitvec.New(p * w)
+		e.reqTo = make([]*bitvec.Vec, p*w)
+		e.outAny = bitvec.New(p * w)
 		for i := range e.inArb {
 			e.inArb[i] = arbiter.New(cfg.ArbKind, w)
 			e.outArb[i] = arbiter.NewTree(cfg.ArbKind, p, w)
 			e.offers[i] = bitvec.New(w)
+			e.reqTo[i] = bitvec.New(p * w)
 		}
-		e.outReq = bitvec.New(p * w)
 	case alloc.Wavefront:
 		e.wf = alloc.NewWavefront(p*w, p*w)
 		e.wfReq = bitvec.NewMatrix(p*w, p*w)
+		e.wfRows = bitvec.New(p * w)
 	default:
 		panic(fmt.Sprintf("core: unsupported VC allocator arch %v", cfg.Arch))
 	}
@@ -215,15 +224,7 @@ func (e *vcEngine) loadCandidates(r VCRequest) bool {
 	if !r.Active || r.Candidates == nil {
 		return false
 	}
-	e.cand.Reset()
-	any := false
-	for c := 0; c < e.w; c++ {
-		if r.Candidates.Get(e.off + c) {
-			e.cand.Set(c)
-			any = true
-		}
-	}
-	return any
+	return e.cand.SliceFrom(r.Candidates, e.off)
 }
 
 // local index helpers: engine-local input/output VC index is p·w + (v-off).
@@ -247,9 +248,11 @@ func (e *vcEngine) allocate(reqs []VCRequest, grants []int) {
 // when the bid wins output arbitration.
 func (e *vcEngine) allocateSepIF(reqs []VCRequest, grants []int) {
 	p, v := e.cfg.Ports, e.cfg.Spec.V()
-	for i := range e.bids {
-		e.bids[i].Reset()
+	// Clear only the bid vectors dirtied by the previous cycle.
+	for lo := e.bidsAny.NextSet(0); lo >= 0; lo = e.bidsAny.NextSet(lo + 1) {
+		e.bids[lo].Reset()
 	}
+	e.bidsAny.Reset()
 	// Stage 1: input-side arbitration.
 	for port := 0; port < p; port++ {
 		for vc := e.off; vc < e.off+e.w; vc++ {
@@ -265,14 +268,13 @@ func (e *vcEngine) allocateSepIF(reqs []VCRequest, grants []int) {
 				continue
 			}
 			e.bidVC[li] = c
-			e.bids[r.OutPort*e.w+c].Set(li)
+			lo := r.OutPort*e.w + c
+			e.bids[lo].Set(li)
+			e.bidsAny.Set(lo)
 		}
 	}
-	// Stage 2: output-side arbitration.
-	for lo := range e.bids {
-		if !e.bids[lo].Any() {
-			continue
-		}
+	// Stage 2: output-side arbitration at the output VCs that received bids.
+	for lo := e.bidsAny.NextSet(0); lo >= 0; lo = e.bidsAny.NextSet(lo + 1) {
 		winner := e.outArb[lo].Pick(e.bids[lo])
 		if winner < 0 {
 			continue
@@ -291,48 +293,51 @@ func (e *vcEngine) allocateSepIF(reqs []VCRequest, grants []int) {
 // offer is accepted.
 func (e *vcEngine) allocateSepOF(reqs []VCRequest, grants []int) {
 	p, v := e.cfg.Ports, e.cfg.Spec.V()
-	for i := range e.offers {
-		e.offers[i].Reset()
+	// Clear the vectors dirtied by the previous cycle.
+	for lo := e.outAny.NextSet(0); lo >= 0; lo = e.outAny.NextSet(lo + 1) {
+		e.reqTo[lo].Reset()
 	}
-	// Stage 1: output-side arbitration at every output VC.
-	for oPort := 0; oPort < p; oPort++ {
-		for oc := 0; oc < e.w; oc++ {
-			lo := oPort*e.w + oc
-			e.outReq.Reset()
-			for port := 0; port < p; port++ {
-				for vc := e.off; vc < e.off+e.w; vc++ {
-					r := reqs[port*v+vc]
-					if r.Active && r.OutPort == oPort && r.Candidates != nil && r.Candidates.Get(e.off+oc) {
-						e.outReq.Set(e.local(port, vc))
-					}
-				}
-			}
-			if !e.outReq.Any() {
-				continue
-			}
-			winner := e.outArb[lo].Pick(e.outReq)
-			if winner < 0 {
-				continue
-			}
-			e.offers[winner].Set(oc)
-		}
+	e.outAny.Reset()
+	for li := e.offAny.NextSet(0); li >= 0; li = e.offAny.NextSet(li + 1) {
+		e.offers[li].Reset()
 	}
-	// Stage 2: input-side arbitration among offered output VCs.
+	e.offAny.Reset()
+	// Gather: transpose each input VC's candidate set into per-output-VC
+	// request vectors, replacing the per-output scan over all input VCs.
 	for port := 0; port < p; port++ {
 		for vc := e.off; vc < e.off+e.w; vc++ {
+			r := reqs[port*v+vc]
+			if !e.loadCandidates(r) {
+				continue
+			}
 			li := e.local(port, vc)
-			if !e.offers[li].Any() {
-				continue
+			base := r.OutPort * e.w
+			for c := e.cand.NextSet(0); c >= 0; c = e.cand.NextSet(c + 1) {
+				e.reqTo[base+c].Set(li)
+				e.outAny.Set(base + c)
 			}
-			c := e.inArb[li].Pick(e.offers[li])
-			if c < 0 {
-				continue
-			}
-			oPort := reqs[port*v+vc].OutPort
-			grants[port*v+vc] = oPort*v + (e.off + c)
-			e.inArb[li].Update(c)
-			e.outArb[oPort*e.w+c].Update(li)
 		}
+	}
+	// Stage 1: output-side arbitration at every requested output VC.
+	for lo := e.outAny.NextSet(0); lo >= 0; lo = e.outAny.NextSet(lo + 1) {
+		winner := e.outArb[lo].Pick(e.reqTo[lo])
+		if winner < 0 {
+			continue
+		}
+		e.offers[winner].Set(lo % e.w)
+		e.offAny.Set(winner)
+	}
+	// Stage 2: input-side arbitration among offered output VCs.
+	for li := e.offAny.NextSet(0); li >= 0; li = e.offAny.NextSet(li + 1) {
+		c := e.inArb[li].Pick(e.offers[li])
+		if c < 0 {
+			continue
+		}
+		wp, wv := e.global(li)
+		oPort := reqs[wp*v+wv].OutPort
+		grants[wp*v+wv] = oPort*v + (e.off + c)
+		e.inArb[li].Update(c)
+		e.outArb[oPort*e.w+c].Update(li)
 	}
 }
 
@@ -340,7 +345,11 @@ func (e *vcEngine) allocateSepOF(reqs []VCRequest, grants []int) {
 // over the full request matrix.
 func (e *vcEngine) allocateWavefront(reqs []VCRequest, grants []int) {
 	p, v := e.cfg.Ports, e.cfg.Spec.V()
-	e.wfReq.Reset()
+	// Clear only the request rows dirtied by the previous cycle.
+	for row := e.wfRows.NextSet(0); row >= 0; row = e.wfRows.NextSet(row + 1) {
+		e.wfReq.Row(row).Reset()
+	}
+	e.wfRows.Reset()
 	for port := 0; port < p; port++ {
 		for vc := e.off; vc < e.off+e.w; vc++ {
 			r := reqs[port*v+vc]
@@ -348,19 +357,23 @@ func (e *vcEngine) allocateWavefront(reqs []VCRequest, grants []int) {
 				continue
 			}
 			row := e.local(port, vc)
+			e.wfRows.Set(row)
 			base := r.OutPort * e.w
-			e.cand.ForEach(func(c int) {
-				e.wfReq.Set(row, base+c)
-			})
+			wfRow := e.wfReq.Row(row)
+			for c := e.cand.NextSet(0); c >= 0; c = e.cand.NextSet(c + 1) {
+				wfRow.Set(base + c)
+			}
 		}
 	}
 	g := e.wf.Allocate(e.wfReq)
-	for row := 0; row < p*e.w; row++ {
-		g.Row(row).ForEach(func(col int) {
+	// Grants are a subset of requests, so only dirty rows can hold one.
+	for row := e.wfRows.NextSet(0); row >= 0; row = e.wfRows.NextSet(row + 1) {
+		gRow := g.Row(row)
+		if col := gRow.NextSet(0); col >= 0 {
 			ip, iv := e.global(row)
 			oPort, oc := col/e.w, col%e.w
 			grants[ip*v+iv] = oPort*v + (e.off + oc)
-		})
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/alloc"
@@ -207,25 +208,39 @@ func PessimisticDelaySaving(tech costmodel.Tech) (best float64, bestRow string) 
 
 // VCQuality regenerates one subfigure of Fig. 7: the three architecture
 // curves (sep_if, sep_of, wf; round-robin arbiters) for a design point.
+// Rate points are swept with one worker per CPU; see VCQualityN.
 func VCQuality(pt Point, rates []float64, trials int, seed uint64) []quality.Series {
-	var out []quality.Series
-	for _, arch := range []alloc.Arch{alloc.SepIF, alloc.SepOF, alloc.Wavefront} {
-		out = append(out, quality.VCSeries(core.VCAllocConfig{
-			Ports: pt.Ports, Spec: pt.Spec, Arch: arch, ArbKind: arbiter.RoundRobin,
-		}, rates, trials, seed))
-	}
-	return out
+	return VCQualityN(pt, rates, trials, seed, runtime.NumCPU())
 }
 
-// SwitchQuality regenerates one subfigure of Fig. 12.
-func SwitchQuality(pt Point, rates []float64, trials int, seed uint64) []quality.Series {
-	var out []quality.Series
+// VCQualityN is VCQuality with an explicit bound on concurrently swept rate
+// points. Results are bit-identical for any worker count.
+func VCQualityN(pt Point, rates []float64, trials int, seed uint64, workers int) []quality.Series {
+	var cfgs []core.VCAllocConfig
 	for _, arch := range []alloc.Arch{alloc.SepIF, alloc.SepOF, alloc.Wavefront} {
-		out = append(out, quality.SwitchSeries(core.SwitchAllocConfig{
-			Ports: pt.Ports, VCs: pt.Spec.V(), Arch: arch, ArbKind: arbiter.RoundRobin,
-		}, rates, trials, seed))
+		cfgs = append(cfgs, core.VCAllocConfig{
+			Ports: pt.Ports, Spec: pt.Spec, Arch: arch, ArbKind: arbiter.RoundRobin,
+		})
 	}
-	return out
+	return quality.VCSeriesMulti(cfgs, rates, trials, seed, workers)
+}
+
+// SwitchQuality regenerates one subfigure of Fig. 12. Rate points are swept
+// with one worker per CPU; see SwitchQualityN.
+func SwitchQuality(pt Point, rates []float64, trials int, seed uint64) []quality.Series {
+	return SwitchQualityN(pt, rates, trials, seed, runtime.NumCPU())
+}
+
+// SwitchQualityN is SwitchQuality with an explicit bound on concurrently
+// swept rate points. Results are bit-identical for any worker count.
+func SwitchQualityN(pt Point, rates []float64, trials int, seed uint64, workers int) []quality.Series {
+	var cfgs []core.SwitchAllocConfig
+	for _, arch := range []alloc.Arch{alloc.SepIF, alloc.SepOF, alloc.Wavefront} {
+		cfgs = append(cfgs, core.SwitchAllocConfig{
+			Ports: pt.Ports, VCs: pt.Spec.V(), Arch: arch, ArbKind: arbiter.RoundRobin,
+		})
+	}
+	return quality.SwitchSeriesMulti(cfgs, rates, trials, seed, workers)
 }
 
 // --- Figs. 13 & 14: network-level performance ---------------------------------

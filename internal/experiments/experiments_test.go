@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -297,15 +298,47 @@ func TestParallelCurveMatchesSerial(t *testing.T) {
 	pt, _ := PointByName("mesh", 1)
 	rates := []float64{0.1, 0.2, 0.3}
 	serial := SimScale{Warmup: 200, Measure: 400, Drain: 1500, Seed: 5, Workers: 1}
-	parallel := serial
-	parallel.Workers = 4
 	a := Fig13(pt, rates, serial)
-	b := Fig13(pt, rates, parallel)
-	for si := range a {
-		for pi := range a[si].Points {
-			if a[si].Points[pi] != b[si].Points[pi] {
-				t.Fatalf("series %s point %d: serial %+v vs parallel %+v",
-					a[si].Name, pi, a[si].Points[pi], b[si].Points[pi])
+	for _, workers := range []int{4, runtime.NumCPU()} {
+		parallel := serial
+		parallel.Workers = workers
+		b := Fig13(pt, rates, parallel)
+		for si := range a {
+			for pi := range a[si].Points {
+				if a[si].Points[pi] != b[si].Points[pi] {
+					t.Fatalf("series %s point %d (workers=%d): serial %+v vs parallel %+v",
+						a[si].Name, pi, workers, a[si].Points[pi], b[si].Points[pi])
+				}
+			}
+		}
+	}
+}
+
+func TestQualityWorkersMatchSerial(t *testing.T) {
+	// Quality rate points re-seed their workload streams, so sweeping them
+	// concurrently must be bit-identical to the serial sweep.
+	pt, _ := PointByName("mesh", 2)
+	rates := []float64{0.4, 0.8}
+	const trials, seed = 60, 42
+	vc1 := VCQualityN(pt, rates, trials, seed, 1)
+	sw1 := SwitchQualityN(pt, rates, trials, seed, 1)
+	for _, workers := range []int{4, runtime.NumCPU()} {
+		vcN := VCQualityN(pt, rates, trials, seed, workers)
+		swN := SwitchQualityN(pt, rates, trials, seed, workers)
+		for k := range vc1 {
+			for i := range vc1[k].Points {
+				if vc1[k].Points[i] != vcN[k].Points[i] {
+					t.Fatalf("vc series %s point %d (workers=%d): %+v vs %+v",
+						vc1[k].Name, i, workers, vc1[k].Points[i], vcN[k].Points[i])
+				}
+			}
+		}
+		for k := range sw1 {
+			for i := range sw1[k].Points {
+				if sw1[k].Points[i] != swN[k].Points[i] {
+					t.Fatalf("sw series %s point %d (workers=%d): %+v vs %+v",
+						sw1[k].Name, i, workers, sw1[k].Points[i], swN[k].Points[i])
+				}
 			}
 		}
 	}

@@ -1,0 +1,51 @@
+// Package prof wires the standard pprof profilers into the command-line
+// tools, so performance work can measure the real workloads (EXPERIMENTS.md
+// drivers) instead of guessing from micro-benchmarks.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty. The returned stop
+// function finishes the CPU profile and, when memPath is non-empty, writes a
+// heap profile (after a GC, so it reflects live data). Callers must invoke
+// stop before exiting; both paths may be empty, making Start a no-op.
+func Start(cpuPath, memPath string) (stop func()) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prof:", err)
+	os.Exit(1)
+}

@@ -10,6 +10,7 @@ package quality
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/alloc"
 	"repro/internal/bitvec"
@@ -123,31 +124,77 @@ func (w *VCWorkload) Matrix(reqs []core.VCRequest, m *bitvec.Matrix) {
 // over the given rates, using trials request matrices per rate (the paper
 // uses 10000).
 func VCSeries(cfg core.VCAllocConfig, rates []float64, trials int, seed uint64) Series {
-	a := core.NewVCAllocator(cfg)
-	p, v := cfg.Ports, cfg.Spec.V()
-	max := alloc.NewMaximum(p*v, p*v)
-	reqMat := bitvec.NewMatrix(p*v, p*v)
-	s := Series{Name: a.Name()}
-	for _, rate := range rates {
-		// Re-seed per rate so every rate point sees an identical stream and
-		// curves are comparable across allocators.
-		w := NewVCWorkload(p, cfg.Spec, seed)
-		a.Reset()
-		grants, maxGrants := 0, 0
-		for trial := 0; trial < trials; trial++ {
-			reqs := w.Next(rate)
-			for _, g := range a.Allocate(reqs) {
-				if g >= 0 {
-					grants++
-				}
-			}
-			w.Matrix(reqs, reqMat)
-			maxGrants += max.Allocate(reqMat).Count()
-		}
-		s.Points = append(s.Points, Point{Rate: rate, Quality: quality(grants, maxGrants),
-			Grants: grants, MaxGrants: maxGrants})
+	return VCSeriesMulti([]core.VCAllocConfig{cfg}, rates, trials, seed, 1)[0]
+}
+
+// VCSeriesMulti measures several VC allocator configurations sharing one
+// design point (Ports and Spec) over the given rates, sweeping up to
+// `workers` rate points concurrently. Each rate point is an independent
+// task: the workload re-seeds per rate so every point sees an identical
+// request stream, and every allocator starts from its reset state, so the
+// output is bit-identical to sequential per-config VCSeries calls for any
+// worker count. Within a task the workload and the maximum-size reference
+// are generated once and shared across all configurations.
+func VCSeriesMulti(cfgs []core.VCAllocConfig, rates []float64, trials int, seed uint64, workers int) []Series {
+	if len(cfgs) == 0 {
+		return nil
 	}
-	return s
+	p, v := cfgs[0].Ports, cfgs[0].Spec.V()
+	for _, cfg := range cfgs {
+		if cfg.Ports != p || cfg.Spec.V() != v {
+			panic("quality: VCSeriesMulti configs must share Ports and Spec")
+		}
+	}
+	out := make([]Series, len(cfgs))
+	for k, cfg := range cfgs {
+		out[k] = Series{Name: core.NewVCAllocator(cfg).Name(), Points: make([]Point, len(rates))}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(rates) {
+		workers = len(rates)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for ri, rate := range rates {
+		ri, rate := ri, rate
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			// Fresh per-task instances: allocator construction is equivalent
+			// to the per-rate Reset of the sequential code.
+			allocs := make([]core.VCAllocator, len(cfgs))
+			for k, cfg := range cfgs {
+				allocs[k] = core.NewVCAllocator(cfg)
+			}
+			max := alloc.NewMaximum(p*v, p*v)
+			reqMat := bitvec.NewMatrix(p*v, p*v)
+			w := NewVCWorkload(p, cfgs[0].Spec, seed)
+			grants := make([]int, len(cfgs))
+			maxGrants := 0
+			for trial := 0; trial < trials; trial++ {
+				reqs := w.Next(rate)
+				for k, a := range allocs {
+					for _, g := range a.Allocate(reqs) {
+						if g >= 0 {
+							grants[k]++
+						}
+					}
+				}
+				w.Matrix(reqs, reqMat)
+				maxGrants += max.Allocate(reqMat).Count()
+			}
+			for k := range cfgs {
+				out[k].Points[ri] = Point{Rate: rate, Quality: quality(grants[k], maxGrants),
+					Grants: grants[k], MaxGrants: maxGrants}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // SwitchWorkload generates random switch-allocation request sets: each input
@@ -196,29 +243,73 @@ func (w *SwitchWorkload) Matrix(reqs []core.SwitchRequest, m *bitvec.Matrix) {
 // SwitchSeries measures the matching quality of the switch allocator
 // configuration over the given rates.
 func SwitchSeries(cfg core.SwitchAllocConfig, rates []float64, trials int, seed uint64) Series {
-	cfg.SpecMode = core.SpecNone // quality is measured on the base allocator
-	a := core.NewSwitchAllocator(cfg)
-	max := alloc.NewMaximum(cfg.Ports, cfg.Ports)
-	reqMat := bitvec.NewMatrix(cfg.Ports, cfg.Ports)
-	s := Series{Name: a.Name()}
-	for _, rate := range rates {
-		w := NewSwitchWorkload(cfg.Ports, cfg.VCs, seed)
-		a.Reset()
-		grants, maxGrants := 0, 0
-		for trial := 0; trial < trials; trial++ {
-			reqs := w.Next(rate)
-			for _, g := range a.Allocate(reqs) {
-				if g.OutPort >= 0 {
-					grants++
-				}
-			}
-			w.Matrix(reqs, reqMat)
-			maxGrants += max.Allocate(reqMat).Count()
-		}
-		s.Points = append(s.Points, Point{Rate: rate, Quality: quality(grants, maxGrants),
-			Grants: grants, MaxGrants: maxGrants})
+	return SwitchSeriesMulti([]core.SwitchAllocConfig{cfg}, rates, trials, seed, 1)[0]
+}
+
+// SwitchSeriesMulti is the switch-allocation analogue of VCSeriesMulti:
+// several configurations sharing one (Ports, VCs) point, swept over up to
+// `workers` concurrent rate points, with the workload and the maximum-size
+// reference shared per task. Quality is measured on the base allocator, so
+// SpecMode is forced to SpecNone. Output is bit-identical to sequential
+// per-config SwitchSeries calls for any worker count.
+func SwitchSeriesMulti(cfgs []core.SwitchAllocConfig, rates []float64, trials int, seed uint64, workers int) []Series {
+	if len(cfgs) == 0 {
+		return nil
 	}
-	return s
+	cfgs = append([]core.SwitchAllocConfig(nil), cfgs...) // SpecMode is forced below
+	p, v := cfgs[0].Ports, cfgs[0].VCs
+	out := make([]Series, len(cfgs))
+	for k := range cfgs {
+		if cfgs[k].Ports != p || cfgs[k].VCs != v {
+			panic("quality: SwitchSeriesMulti configs must share Ports and VCs")
+		}
+		cfgs[k].SpecMode = core.SpecNone // quality is measured on the base allocator
+		out[k] = Series{Name: core.NewSwitchAllocator(cfgs[k]).Name(), Points: make([]Point, len(rates))}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(rates) {
+		workers = len(rates)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for ri, rate := range rates {
+		ri, rate := ri, rate
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			allocs := make([]core.SwitchAllocator, len(cfgs))
+			for k := range cfgs {
+				allocs[k] = core.NewSwitchAllocator(cfgs[k])
+			}
+			max := alloc.NewMaximum(p, p)
+			reqMat := bitvec.NewMatrix(p, p)
+			w := NewSwitchWorkload(p, v, seed)
+			grants := make([]int, len(cfgs))
+			maxGrants := 0
+			for trial := 0; trial < trials; trial++ {
+				reqs := w.Next(rate)
+				for k, a := range allocs {
+					for _, g := range a.Allocate(reqs) {
+						if g.OutPort >= 0 {
+							grants[k]++
+						}
+					}
+				}
+				w.Matrix(reqs, reqMat)
+				maxGrants += max.Allocate(reqMat).Count()
+			}
+			for k := range cfgs {
+				out[k].Points[ri] = Point{Rate: rate, Quality: quality(grants[k], maxGrants),
+					Grants: grants[k], MaxGrants: maxGrants}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 func quality(grants, maxGrants int) float64 {

@@ -104,12 +104,32 @@ const (
 	vcActive                // output VC assigned; flits compete for the switch
 )
 
+// inputVC holds one input VC's buffer as a fixed-capacity ring: head indexes
+// the front flit and count the occupancy, so dequeue is O(1) instead of the
+// O(depth) slice shift it replaces.
 type inputVC struct {
-	fifo    []*Flit
+	fifo    []*Flit // ring storage, len == BufDepth
+	head    int
+	count   int
 	state   vcState
 	outPort int
 	class   int // resource class requested at this router
 	outVC   int // local VC index at outPort, valid when vcActive
+}
+
+func (q *inputVC) front() *Flit { return q.fifo[q.head] }
+
+func (q *inputVC) push(f *Flit) {
+	q.fifo[(q.head+q.count)%len(q.fifo)] = f
+	q.count++
+}
+
+func (q *inputVC) pop() *Flit {
+	f := q.fifo[q.head]
+	q.fifo[q.head] = nil
+	q.head = (q.head + 1) % len(q.fifo)
+	q.count--
+	return f
 }
 
 type outputVC struct {
@@ -184,7 +204,7 @@ func New(cfg Config) *Router {
 		vaGranted:  make([]int, cfg.Ports*v),
 	}
 	for i := range r.in {
-		r.in[i].fifo = make([]*Flit, 0, cfg.BufDepth)
+		r.in[i].fifo = make([]*Flit, cfg.BufDepth)
 		r.out[i].credits = cfg.BufDepth
 		r.candidates[i] = bitvec.New(v)
 	}
@@ -210,10 +230,10 @@ func (r *Router) VCs() int { return r.v }
 // flow-control bug rather than a recoverable condition.
 func (r *Router) AcceptFlit(port, vc int, f *Flit) {
 	ivc := &r.in[port*r.v+vc]
-	if len(ivc.fifo) >= r.cfg.BufDepth {
+	if ivc.count >= r.cfg.BufDepth {
 		panic(fmt.Sprintf("router %d: input buffer (%d,%d) overflow", r.cfg.ID, port, vc))
 	}
-	ivc.fifo = append(ivc.fifo, f)
+	ivc.push(f)
 }
 
 // AcceptCredit returns one credit for output VC (port, vc).
@@ -237,7 +257,7 @@ func (r *Router) OutputOccupancy(port int) int {
 
 // InputOccupancy returns the number of buffered flits at input (port, vc);
 // exposed for tests and statistics.
-func (r *Router) InputOccupancy(port, vc int) int { return len(r.in[port*r.v+vc].fifo) }
+func (r *Router) InputOccupancy(port, vc int) int { return r.in[port*r.v+vc].count }
 
 // OutputVCFree reports whether output VC (port, vc) is unallocated.
 func (r *Router) OutputVCFree(port, vc int) bool { return !r.out[port*r.v+vc].allocated }
@@ -281,10 +301,10 @@ func (r *Router) Step() ([]Departure, []Credit) {
 func (r *Router) refreshRoutes() {
 	for i := range r.in {
 		ivc := &r.in[i]
-		if ivc.state != vcIdle || len(ivc.fifo) == 0 {
+		if ivc.state != vcIdle || ivc.count == 0 {
 			continue
 		}
-		f := ivc.fifo[0]
+		f := ivc.front()
 		if !f.Head {
 			panic(fmt.Sprintf("router %d: body flit at front of idle VC %d", r.cfg.ID, i))
 		}
@@ -310,7 +330,7 @@ func (r *Router) buildVARequests() {
 		if ivc.state != vcWaitVA {
 			continue
 		}
-		m := ivc.fifo[0].Pkt.Type.MessageClass()
+		m := ivc.front().Pkt.Type.MessageClass()
 		mask := r.classMasks[r.cfg.Spec.ClassIndex(m, ivc.class)]
 		cand := r.candidates[i]
 		cand.CopyFrom(mask)
@@ -337,7 +357,7 @@ func (r *Router) buildSARequests() {
 		r.saReqs[i] = core.SwitchRequest{}
 		switch ivc.state {
 		case vcActive:
-			if len(ivc.fifo) == 0 {
+			if ivc.count == 0 {
 				continue
 			}
 			if r.out[ivc.outPort*r.v+ivc.outVC].credits <= 0 {
@@ -375,7 +395,7 @@ func (r *Router) commitVA() {
 		if r.cfg.Trace != nil {
 			r.cfg.Trace.Record(trace.Event{Kind: trace.VAGrant, Router: r.cfg.ID,
 				Port: i / r.v, VC: i % r.v, OutPort: outPort, OutVC: outVC,
-				Packet: ivc.fifo[0].Pkt.ID, Seq: ivc.fifo[0].Seq})
+				Packet: ivc.front().Pkt.ID, Seq: ivc.front().Seq})
 		}
 	}
 }
@@ -409,11 +429,10 @@ func (r *Router) commitSA(grants []core.SwitchGrant) {
 			}
 			r.stats.SpecGrantsUsed++
 		}
-		if len(ivc.fifo) == 0 || ivc.state != vcActive {
+		if ivc.count == 0 || ivc.state != vcActive {
 			panic(fmt.Sprintf("router %d: switch grant to empty/idle VC %d", r.cfg.ID, i))
 		}
-		f := ivc.fifo[0]
-		ivc.fifo = append(ivc.fifo[:0], ivc.fifo[1:]...) // keep backing array
+		f := ivc.pop()
 		r.stats.FlitsRouted++
 		if f.Head {
 			f.Pkt.Hops++
@@ -444,9 +463,9 @@ func (r *Router) traceMisspec(port, vc int, ivc *inputVC) {
 	}
 	e := trace.Event{Kind: trace.Misspec, Router: r.cfg.ID, Port: port, VC: vc,
 		OutPort: ivc.outPort, OutVC: -1, Packet: -1, Seq: -1}
-	if len(ivc.fifo) > 0 {
-		e.Packet = ivc.fifo[0].Pkt.ID
-		e.Seq = ivc.fifo[0].Seq
+	if ivc.count > 0 {
+		e.Packet = ivc.front().Pkt.ID
+		e.Seq = ivc.front().Seq
 	}
 	r.cfg.Trace.Record(e)
 }

@@ -159,7 +159,7 @@ type Network struct {
 	latencyCount       int
 	measuredCreated    int
 	measFlits          int64
-	inFlight           map[int64]struct{} // measured packets not yet delivered
+	inFlight           int // measured packets not yet delivered
 	latHist            stats.Hist
 	reqLat, repLat     stats.Running
 	hops               stats.Running
@@ -184,9 +184,8 @@ func New(cfg Config) *Network {
 			cfg.Spec.ResourceClasses, cfg.Routing.ResourceClasses()))
 	}
 	n := &Network{
-		cfg:      cfg,
-		wheel:    make([][]event, wheelSize),
-		inFlight: make(map[int64]struct{}),
+		cfg:   cfg,
+		wheel: make([][]event, wheelSize),
 	}
 	root := xrand.New(cfg.Seed)
 	for r := 0; r < cfg.Topology.Routers; r++ {
@@ -299,12 +298,12 @@ func (n *Network) Run() Result {
 		n.stepCycle()
 	}
 	drainEnd := n.measEnd + int64(cfg.Drain)
-	for n.now < drainEnd && len(n.inFlight) > 0 {
+	for n.now < drainEnd && n.inFlight > 0 {
 		n.stepCycle()
 	}
 	res := Result{
 		MeasuredPackets: n.measuredCreated,
-		Unfinished:      len(n.inFlight),
+		Unfinished:      n.inFlight,
 		Cycles:          n.now,
 		FlitsDelivered:  n.delivered,
 		Throughput:      float64(n.measFlits) / float64(cfg.Measure) / float64(cfg.Topology.Terminals()),
@@ -346,7 +345,7 @@ func (n *Network) packetDelivered(p *router.Packet) {
 			n.repLat.Add(float64(lat))
 		}
 		n.hops.Add(float64(p.Hops))
-		delete(n.inFlight, p.ID)
+		n.inFlight--
 	}
 }
 
@@ -373,7 +372,7 @@ func (n *Network) newPacket(t traffic.PacketType, src, dst int, createdAt int64)
 	n.created += int64(p.Size)
 	if createdAt >= n.measStart && createdAt < n.measEnd {
 		n.measuredCreated++
-		n.inFlight[p.ID] = struct{}{}
+		n.inFlight++
 	}
 	return p
 }
