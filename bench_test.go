@@ -119,18 +119,32 @@ func BenchmarkFig12SwitchQuality(b *testing.B) {
 // representative simulation.
 var benchScale = experiments.SimScale{Warmup: 200, Measure: 400, Drain: 1500, Seed: 42}
 
+// reportCyclesPerSec attributes the simulated cycles of every point in the
+// series to the benchmark's wall clock, giving a scheduler-speed metric that
+// stays comparable as the simulation core changes.
+func reportCyclesPerSec(b *testing.B, cycles int64) {
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
+}
+
 func BenchmarkFig13SwitchAllocatorNetwork(b *testing.B) {
 	for _, pt := range experiments.Points() {
 		pt := pt
 		b.Run(pt.String(), func(b *testing.B) {
 			b.ReportAllocs()
 			rates := []float64{0.2}
+			var cycles int64
 			for i := 0; i < b.N; i++ {
 				series := experiments.Fig13(pt, rates, benchScale)
 				if len(series) != 3 {
 					b.Fatal("want 3 series")
 				}
+				for _, s := range series {
+					for _, p := range s.Points {
+						cycles += p.Cycles
+					}
+				}
 			}
+			reportCyclesPerSec(b, cycles)
 		})
 	}
 }
@@ -141,12 +155,19 @@ func BenchmarkFig14SpeculationNetwork(b *testing.B) {
 		b.Run(pt.String(), func(b *testing.B) {
 			b.ReportAllocs()
 			rates := []float64{0.2}
+			var cycles int64
 			for i := 0; i < b.N; i++ {
 				series := experiments.Fig14(pt, rates, benchScale)
 				if len(series) != 3 {
 					b.Fatal("want 3 series")
 				}
+				for _, s := range series {
+					for _, p := range s.Points {
+						cycles += p.Cycles
+					}
+				}
 			}
+			reportCyclesPerSec(b, cycles)
 		})
 	}
 }

@@ -32,6 +32,7 @@ func main() {
 	drain := flag.Int("drain", 20000, "drain cycle budget")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	workers := flag.Int("workers", 4, "concurrent simulations per curve")
+	dense := flag.Bool("dense", false, "step every router every cycle (reference scheduler; slower, bit-identical)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -45,7 +46,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	scale := experiments.SimScale{Warmup: *warmup, Measure: *measure, Drain: *drain, Seed: *seed, Workers: *workers}
+	scale := experiments.SimScale{Warmup: *warmup, Measure: *measure, Drain: *drain, Seed: *seed, Workers: *workers, Dense: *dense}
 	rates := experiments.InjectionRates(pt)
 
 	header := func(format string, args ...any) {

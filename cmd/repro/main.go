@@ -24,6 +24,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced trials and cycles")
 	workers := flag.Int("workers", 4, "concurrent simulations (or quality rate points) per curve")
+	dense := flag.Bool("dense", false, "step every router every cycle (reference scheduler; slower, bit-identical)")
 	only := flag.String("only", "", "restrict to one experiment: fig4, fig5, fig6, fig7, fig10, fig11, fig12, fig13, fig14, vasweep, summary")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -39,6 +40,7 @@ func main() {
 		scale = experiments.SimScale{Warmup: 500, Measure: 1000, Drain: 4000, Seed: 42}
 	}
 	scale.Workers = *workers
+	scale.Dense = *dense
 
 	want := func(name string) bool { return *only == "" || *only == name }
 	tech := costmodel.Default45nm()

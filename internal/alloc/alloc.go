@@ -36,6 +36,16 @@ type Allocator interface {
 	Name() string
 }
 
+// IdleSkipper is implemented by allocators whose priority state advances
+// even on Allocate calls with an empty request matrix. An event-driven
+// simulator that skips such calls outright must invoke SkipIdle with the
+// number of skipped cycles to reproduce the dense stepper bit for bit.
+// Allocators without the method are state-no-ops on empty input and may be
+// skipped unconditionally.
+type IdleSkipper interface {
+	SkipIdle(idleCycles int64)
+}
+
 // Arch names an allocator architecture.
 type Arch int
 
@@ -391,6 +401,13 @@ func NewWavefront(rows, cols int) Allocator {
 func (a *wavefront) Shape() (int, int) { return a.rows, a.cols }
 func (a *wavefront) Name() string      { return "wf" }
 func (a *wavefront) Reset()            { a.prio = 0 }
+
+// SkipIdle implements IdleSkipper: an Allocate call with an empty request
+// matrix grants nothing but still rotates the priority diagonal, so skipping
+// idle cycles must advance prio by the same amount to stay bit-exact.
+func (a *wavefront) SkipIdle(idleCycles int64) {
+	a.prio = int((int64(a.prio) + idleCycles) % int64(a.n))
+}
 
 func (a *wavefront) Allocate(req *bitvec.Matrix) *bitvec.Matrix {
 	checkShape(req, a.rows, a.cols)

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+)
 
 // precomputedSwitch implements the arbitration pre-computation technique of
 // Mullins et al. [15] (paper related work, §1): the switch allocator
@@ -58,6 +62,48 @@ func (a *precomputedSwitch) Stats() SwitchAllocStats { return a.inner.Stats() }
 // Aborted returns (grants issued on stale requests and validated away,
 // total grants the inner allocator produced).
 func (a *precomputedSwitch) Aborted() (aborted, issued int64) { return a.aborted, a.issued }
+
+// SkipIdle implements alloc.IdleSkipper. The wrapper latches each cycle's
+// requests for the next, so the first idle cycle after activity still issues
+// grants from the stale latch (all aborted against the empty live request
+// set) and advances the inner allocator's state accordingly; that cycle is
+// replayed literally. Once the latch is empty, idle cycles only touch the
+// inner allocator's idle-variant state.
+func (a *precomputedSwitch) SkipIdle(idleCycles int64) {
+	if idleCycles <= 0 {
+		return
+	}
+	if !a.havePrev {
+		// The very first cycle only latches the (empty) request set.
+		a.havePrev = true
+		idleCycles--
+	} else {
+		stale := false
+		for _, r := range a.prev {
+			if r.Active {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			for _, g := range a.inner.Allocate(a.prev) {
+				if g.OutPort >= 0 {
+					a.issued++
+					a.aborted++
+				}
+			}
+			for i := range a.prev {
+				a.prev[i] = SwitchRequest{}
+			}
+			idleCycles--
+		}
+	}
+	if idleCycles > 0 {
+		if s, ok := a.inner.(alloc.IdleSkipper); ok {
+			s.SkipIdle(idleCycles)
+		}
+	}
+}
 
 func (a *precomputedSwitch) Allocate(reqs []SwitchRequest) []SwitchGrant {
 	if len(reqs) != len(a.prev) {

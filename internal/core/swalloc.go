@@ -182,6 +182,21 @@ func (a *switchAllocator) Reset() {
 
 func (a *switchAllocator) Stats() SwitchAllocStats { return a.stats }
 
+// SkipIdle implements alloc.IdleSkipper: on a request-free cycle the only
+// state change in Allocate is the wavefront port allocators' diagonal
+// rotation (arbiters commit only on accepted proposals), so replay exactly
+// that into each engine's wavefront block.
+func (a *switchAllocator) SkipIdle(idleCycles int64) {
+	if s, ok := a.nonspec.wf.(alloc.IdleSkipper); ok {
+		s.SkipIdle(idleCycles)
+	}
+	if a.spec != nil {
+		if s, ok := a.spec.wf.(alloc.IdleSkipper); ok {
+			s.SkipIdle(idleCycles)
+		}
+	}
+}
+
 func (a *switchAllocator) Allocate(reqs []SwitchRequest) []SwitchGrant {
 	p, v := a.cfg.Ports, a.cfg.VCs
 	if len(reqs) != p*v {

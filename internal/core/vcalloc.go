@@ -121,6 +121,18 @@ func (a *vcAllocator) Reset() {
 	}
 }
 
+// SkipIdle implements alloc.IdleSkipper: wavefront engines rotate their
+// priority diagonal on every Allocate call, including request-free cycles,
+// so skipped idle cycles must be replayed into them. Separable engines only
+// update arbiter priority on grants and need no catch-up.
+func (a *vcAllocator) SkipIdle(idleCycles int64) {
+	for _, e := range a.engines {
+		if s, ok := e.wf.(alloc.IdleSkipper); ok {
+			s.SkipIdle(idleCycles)
+		}
+	}
+}
+
 func (a *vcAllocator) Allocate(reqs []VCRequest) []int {
 	if len(reqs) != a.ports*a.v {
 		panic(fmt.Sprintf("core: %d VC requests, want %d", len(reqs), a.ports*a.v))

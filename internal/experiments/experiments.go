@@ -254,6 +254,10 @@ type SimScale struct {
 	// curve's rate points are swept (each point is an independent,
 	// deterministic simulation). Zero or one means serial execution.
 	Workers int
+	// Dense disables the simulator's active-set scheduling and steps every
+	// router and terminal every cycle; results are bit-identical either way
+	// (golden tests rely on this), the dense stepper is just slower.
+	Dense bool
 }
 
 // DefaultScale is sized for the cmd-line tools.
@@ -265,6 +269,9 @@ type NetPoint struct {
 	Latency    float64
 	Throughput float64
 	Saturated  bool
+	// Cycles is the simulated cycle count behind the sample; benchmarks
+	// divide it by wall-clock time for a cycles/sec throughput metric.
+	Cycles int64
 }
 
 // NetSeries is a named latency-vs-injection-rate curve.
@@ -324,6 +331,7 @@ func BuildSim(pt Point, rate float64, scale SimScale) sim.Config {
 		Warmup:        scale.Warmup,
 		Measure:       scale.Measure,
 		Drain:         scale.Drain,
+		Dense:         scale.Dense,
 	}
 	switch pt.Topo {
 	case "mesh":
@@ -366,7 +374,8 @@ func runCurveN(name string, rates []float64, workers int, mk func(rate float64) 
 			defer func() { <-sem }()
 			res := sim.New(mk(rate)).Run()
 			s.Points[i] = NetPoint{
-				Rate: rate, Latency: res.AvgLatency, Throughput: res.Throughput, Saturated: res.Saturated,
+				Rate: rate, Latency: res.AvgLatency, Throughput: res.Throughput,
+				Saturated: res.Saturated, Cycles: res.Cycles,
 			}
 		}()
 	}
@@ -484,19 +493,43 @@ func SaturationThroughput(pt Point, swArch alloc.Arch, scale SimScale) float64 {
 
 // PatternSweep runs one design point under several synthetic traffic
 // patterns at a fixed rate; the paper reports that its conclusions are
-// largely invariant to traffic pattern selection (§3.2).
+// largely invariant to traffic pattern selection (§3.2). Patterns are
+// swept with up to scale.Workers simulations in flight; each pattern is an
+// independent, deterministic simulation, so results do not depend on the
+// worker count.
 func PatternSweep(pt Point, rate float64, scale SimScale, patterns []string) ([]NetSeries, error) {
-	var out []NetSeries
-	for _, name := range patterns {
+	resolved := make([]traffic.Pattern, len(patterns))
+	for i, name := range patterns {
 		p, err := traffic.NewPattern(name, 64)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, runCurve(name, []float64{rate}, func(r float64) sim.Config {
-			cfg := BuildSim(pt, r, scale)
-			cfg.Pattern = p
-			return cfg
-		}))
+		resolved[i] = p
 	}
+	out := make([]NetSeries, len(patterns))
+	workers := scale.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(patterns) {
+		workers = len(patterns)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range patterns {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = runCurve(patterns[i], []float64{rate}, func(r float64) sim.Config {
+				cfg := BuildSim(pt, r, scale)
+				cfg.Pattern = resolved[i]
+				return cfg
+			})
+		}()
+	}
+	wg.Wait()
 	return out, nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"runtime"
 	"strings"
 	"testing"
@@ -289,6 +290,58 @@ func TestPatternSweepInvariance(t *testing.T) {
 	}
 	if _, err := PatternSweep(pt, 0.1, scale, []string{"bogus"}); err == nil {
 		t.Fatal("unknown pattern should error")
+	}
+}
+
+func TestGoldenActiveMatchesDense(t *testing.T) {
+	// Acceptance criterion for the active-set scheduler: the Fig. 13 and
+	// Fig. 14 series (latency, throughput, saturation flags) at seed 42 are
+	// bit-identical to the dense reference stepper on both paper topologies.
+	rates := []float64{0.05, 0.2, 0.35}
+	active := SimScale{Warmup: 300, Measure: 600, Drain: 4000, Seed: 42, Workers: runtime.NumCPU()}
+	dense := active
+	dense.Dense = true
+	for _, topo := range []string{"mesh", "fbfly"} {
+		pt, err := PointByName(topo, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fig := range []struct {
+			name string
+			run  func(Point, []float64, SimScale) []NetSeries
+		}{{"fig13", Fig13}, {"fig14", Fig14}} {
+			a := fig.run(pt, rates, active)
+			d := fig.run(pt, rates, dense)
+			if !reflect.DeepEqual(a, d) {
+				t.Errorf("%s %s: active scheduler series diverged from dense reference\nactive: %+v\ndense:  %+v",
+					topo, fig.name, a, d)
+			}
+		}
+	}
+}
+
+func TestPatternSweepWorkersMatchSerial(t *testing.T) {
+	// PatternSweep fans out one simulation per pattern; the per-pattern
+	// simulations are independently seeded, so any worker count must give
+	// results bit-identical to the serial sweep, in the requested order.
+	pt, _ := PointByName("mesh", 1)
+	patterns := []string{"uniform", "transpose", "bitcomp", "tornado"}
+	serial := SimScale{Warmup: 200, Measure: 400, Drain: 2000, Seed: 7, Workers: 1}
+	a, err := PatternSweep(pt, 0.1, serial, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, runtime.NumCPU(), 64} {
+		par := serial
+		par.Workers = workers
+		b, err := PatternSweep(pt, 0.1, par, patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("workers=%d: parallel pattern sweep diverged from serial:\nserial:   %+v\nparallel: %+v",
+				workers, a, b)
+		}
 	}
 }
 

@@ -157,6 +157,18 @@ type Router struct {
 	deps    []Departure
 	credits []Credit
 	stats   Stats
+
+	// occupied counts input VCs currently holding at least one flit; it is
+	// maintained by AcceptFlit and commitSA and backs Quiescent.
+	occupied int
+	// skipVA and skipSA are the allocators' idle catch-up hooks, resolved
+	// once at construction (nil when the allocator is idle-invariant).
+	skipVA, skipSA func(int64)
+}
+
+// idleSkipper mirrors alloc.IdleSkipper structurally; see Router.SkipIdle.
+type idleSkipper interface {
+	SkipIdle(idleCycles int64)
 }
 
 // Stats counts per-router pipeline events since construction.
@@ -213,6 +225,12 @@ func New(cfg Config) *Router {
 			r.classMasks = append(r.classMasks, cfg.Spec.ClassMask(m, rc))
 		}
 	}
+	if s, ok := r.va.(idleSkipper); ok {
+		r.skipVA = s.SkipIdle
+	}
+	if s, ok := r.sa.(idleSkipper); ok {
+		r.skipSA = s.SkipIdle
+	}
 	return r
 }
 
@@ -232,6 +250,9 @@ func (r *Router) AcceptFlit(port, vc int, f *Flit) {
 	ivc := &r.in[port*r.v+vc]
 	if ivc.count >= r.cfg.BufDepth {
 		panic(fmt.Sprintf("router %d: input buffer (%d,%d) overflow", r.cfg.ID, port, vc))
+	}
+	if ivc.count == 0 {
+		r.occupied++
 	}
 	ivc.push(f)
 }
@@ -268,6 +289,27 @@ func (r *Router) Stats() Stats {
 	s := r.stats
 	s.SpecMasked = r.sa.Stats().SpecMasked
 	return s
+}
+
+// Quiescent reports whether a Step would be a guaranteed no-op: with no
+// occupied input VC there are no routes to refresh and no VC or switch
+// requests, so no grants, departures or credits can be produced. (Idle
+// cycles still advance wavefront allocator priority in the dense stepper;
+// SkipIdle replays that state change without the full Step.) Credits alone
+// never un-quiesce a router: they enable no work until a flit arrives, and
+// AcceptFlit raises occupancy.
+func (r *Router) Quiescent() bool { return r.occupied == 0 }
+
+// SkipIdle catches up the allocator state for idleCycles consecutive
+// quiescent cycles that the caller elided, keeping an event-driven schedule
+// bit-exact with stepping the router every cycle.
+func (r *Router) SkipIdle(idleCycles int64) {
+	if r.skipVA != nil {
+		r.skipVA(idleCycles)
+	}
+	if r.skipSA != nil {
+		r.skipSA(idleCycles)
+	}
 }
 
 // Step advances the router by one cycle: route refresh, VC allocation and
@@ -433,6 +475,9 @@ func (r *Router) commitSA(grants []core.SwitchGrant) {
 			panic(fmt.Sprintf("router %d: switch grant to empty/idle VC %d", r.cfg.ID, i))
 		}
 		f := ivc.pop()
+		if ivc.count == 0 {
+			r.occupied--
+		}
 		r.stats.FlitsRouted++
 		if f.Head {
 			f.Pkt.Hops++

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/arbiter"
+	"repro/internal/core"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// runBoth runs the same configuration under the active-set scheduler and the
+// dense reference stepper and returns both results.
+func runBoth(cfg Config) (active, dense Result) {
+	cfg.Dense = false
+	active = New(cfg).Run()
+	cfg.Dense = true
+	dense = New(cfg).Run()
+	return active, dense
+}
+
+// TestActiveSchedulerBitExact is the core contract of the active-set
+// scheduler: skipping dormant terminals and quiescent routers must reproduce
+// the dense stepper bit for bit — same RNG draw order, same packet IDs, same
+// latencies and counters — across topologies, speculation modes and the
+// allocator microarchitectures with idle-variant state (wavefront priority
+// diagonals, precomputed request latches).
+func TestActiveSchedulerBitExact(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"mesh/spec_none", func() Config { c := meshConfig(2, 0.25); c.SA.SpecMode = core.SpecNone; return c }()},
+		{"mesh/spec_gnt", func() Config { c := meshConfig(2, 0.25); c.SA.SpecMode = core.SpecGnt; return c }()},
+		{"mesh/spec_req", meshConfig(2, 0.25)},
+		{"mesh/low-rate", meshConfig(1, 0.05)},
+		{"mesh/wavefront-va-sa", func() Config {
+			c := meshConfig(2, 0.3)
+			c.VA.Arch = alloc.Wavefront
+			c.SA.Arch = alloc.Wavefront
+			return c
+		}()},
+		{"mesh/sparse-wf-va", func() Config {
+			c := meshConfig(2, 0.3)
+			c.VA.Arch = alloc.Wavefront
+			c.VA.Sparse = true
+			return c
+		}()},
+		{"mesh/precomputed-sa", func() Config {
+			c := meshConfig(2, 0.2)
+			c.SA.SpecMode = core.SpecNone
+			c.SA.Precomputed = true
+			return c
+		}()},
+		{"mesh/precomputed-wf-sa", func() Config {
+			c := meshConfig(2, 0.2)
+			c.SA.Arch = alloc.Wavefront
+			c.SA.SpecMode = core.SpecNone
+			c.SA.Precomputed = true
+			return c
+		}()},
+		{"mesh/freequeue-va", func() Config {
+			c := meshConfig(2, 0.2)
+			c.VA = core.VCAllocConfig{ArbKind: arbiter.RoundRobin, FreeQueue: true}
+			return c
+		}()},
+		{"fbfly/spec_req", fbflyConfig(2, 0.3)},
+		{"fbfly/wavefront-sa", func() Config { c := fbflyConfig(2, 0.3); c.SA.Arch = alloc.Wavefront; return c }()},
+		{"torus/dateline", torusConfig(1, 0.2)},
+	}
+	for _, tc := range cases {
+		tc.cfg.Warmup, tc.cfg.Measure, tc.cfg.Drain = 300, 700, 6000
+		active, dense := runBoth(tc.cfg)
+		if active != dense {
+			t.Errorf("%s: active scheduler diverged from dense reference:\nactive: %+v\ndense:  %+v",
+				tc.name, active, dense)
+		}
+	}
+}
+
+// TestActiveSchedulerBitExactValidated re-runs the equivalence with per-cycle
+// allocation checking enabled in every router across all three speculation
+// modes and both paper topologies (satellite: Validate-mode invariant tests
+// on the active-set scheduler).
+func TestActiveSchedulerBitExactValidated(t *testing.T) {
+	for _, mk := range []func(int, float64) Config{meshConfig, fbflyConfig} {
+		for _, mode := range []core.SpecMode{core.SpecNone, core.SpecGnt, core.SpecReq} {
+			cfg := mk(2, 0.3)
+			cfg.SA.SpecMode = mode
+			cfg.Validate = true
+			cfg.Warmup, cfg.Measure, cfg.Drain = 200, 400, 4000
+			active, dense := runBoth(cfg)
+			if active != dense {
+				t.Errorf("%s %v validated: active %+v != dense %+v", cfg.Topology.Name, mode, active, dense)
+			}
+			if active.FlitsDelivered == 0 {
+				t.Errorf("%s %v validated: no flits moved", cfg.Topology.Name, mode)
+			}
+		}
+	}
+}
+
+// TestFlitConservationActiveAllSpecModes drains a loaded network under the
+// active-set scheduler for every speculation mode on both topologies: every
+// flit handed to a router must eventually reach a terminal, exercising the
+// dormant-terminal path once injection is cut to zero.
+func TestFlitConservationActiveAllSpecModes(t *testing.T) {
+	for _, mk := range []func(int, float64) Config{meshConfig, fbflyConfig} {
+		for _, mode := range []core.SpecMode{core.SpecNone, core.SpecGnt, core.SpecReq} {
+			cfg := mk(2, 0.3)
+			cfg.SA.SpecMode = mode
+			n := New(cfg)
+			for i := 0; i < 2500; i++ {
+				n.stepCycle()
+			}
+			n.SetInjectionRate(0)
+			for i := 0; i < 10000; i++ {
+				n.stepCycle()
+				if sent, delivered := n.SentFlits(), n.delivered; sent == delivered && i > 100 {
+					break
+				}
+			}
+			sent, delivered := n.SentFlits(), n.delivered
+			if sent != delivered {
+				t.Errorf("%s %v: flit conservation violated: sent %d, delivered %d",
+					cfg.Topology.Name, mode, sent, delivered)
+			}
+			if sent == 0 {
+				t.Errorf("%s %v: no traffic moved", cfg.Topology.Name, mode)
+			}
+		}
+	}
+}
+
+// TestSteadyStateStepAllocs verifies the recycled flit/packet path: once the
+// free lists are primed, advancing a loaded simulation allocates nothing per
+// cycle on average.
+func TestSteadyStateStepAllocs(t *testing.T) {
+	n := New(meshConfig(2, 0.3))
+	for i := 0; i < 3000; i++ {
+		n.stepCycle()
+	}
+	if avg := testing.AllocsPerRun(2000, func() { n.stepCycle() }); avg >= 1 {
+		t.Fatalf("steady-state stepCycle allocates %.1f objects/cycle, want amortized zero", avg)
+	}
+	if len(n.flitPool) == 0 && len(n.pktPool) == 0 {
+		t.Fatal("free lists never populated; recycling path is dead")
+	}
+}
+
+// TestReadFractionZero verifies the applyDefaults bugfix: pointing
+// ReadFraction at zero must yield an all-write workload (no read requests,
+// no read replies), which the old float-zero-means-default config could not
+// express.
+func TestReadFractionZero(t *testing.T) {
+	zero := 0.0
+	cfg := meshConfig(1, 0.3)
+	cfg.ReadFraction = &zero
+	n := New(cfg)
+	seen := map[traffic.PacketType]bool{}
+	scan := func(p *router.Packet) {
+		if p != nil {
+			seen[p.Type] = true
+		}
+	}
+	for i := 0; i < 1500; i++ {
+		n.stepCycle()
+		for _, term := range n.terminals {
+			scan(term.cur)
+			for _, q := range []*pktQueue{&term.reqQ, &term.replyQ} {
+				for j := q.head; j < len(q.buf); j++ {
+					scan(q.buf[j])
+				}
+			}
+		}
+	}
+	if seen[traffic.ReadRequest] || seen[traffic.ReadReply] {
+		t.Fatalf("ReadFraction 0 still produced read packets: %v", seen)
+	}
+	if !seen[traffic.WriteRequest] || !seen[traffic.WriteReply] {
+		t.Fatalf("all-write workload moved no write traffic: %v", seen)
+	}
+}
+
+// TestReadFractionDefault checks that leaving ReadFraction nil still applies
+// the paper's 0.5 default.
+func TestReadFractionDefault(t *testing.T) {
+	n := New(meshConfig(1, 0.1))
+	if got := n.terminals[0].gen.ReadFraction; got != 0.5 {
+		t.Fatalf("default ReadFraction = %v, want 0.5", got)
+	}
+}
+
+// TestLongLatencyChannels covers the wheel-sizing satellite: channel
+// latencies at or above the old fixed wheel size of 16 used to panic in
+// schedule; the wheel is now sized from the topology's maximum channel
+// latency at New time.
+func TestLongLatencyChannels(t *testing.T) {
+	topo := topology.MeshWithLatency(4, 20)
+	cfg := Config{
+		Topology:      topo,
+		Routing:       routing.NewDOR(topo),
+		Spec:          core.NewVCSpec(2, 1, 2),
+		VA:            core.VCAllocConfig{Arch: alloc.SepIF, ArbKind: arbiter.RoundRobin},
+		SA:            core.SwitchAllocConfig{Arch: alloc.SepIF, ArbKind: arbiter.RoundRobin, SpecMode: core.SpecReq},
+		InjectionRate: 0.05,
+		Seed:          7,
+		Warmup:        300,
+		Measure:       700,
+		Drain:         8000,
+	}
+	n := New(cfg)
+	if want := int64(2 + 20 + 1); n.wheelSize != want {
+		t.Fatalf("wheel size %d, want %d for max channel latency 20", n.wheelSize, want)
+	}
+	res := n.Run()
+	if res.Saturated || res.Unfinished != 0 {
+		t.Fatalf("long-latency mesh did not drain: %+v", res)
+	}
+	// A 4x4 mesh averages well over one hop, so 20-cycle channels push
+	// zero-load latency far beyond the unit-latency mesh's.
+	if res.AvgLatency < 40 {
+		t.Fatalf("latency %.1f implausibly low for 20-cycle channels", res.AvgLatency)
+	}
+	// The equivalence contract holds for long-latency wheels too.
+	active, dense := runBoth(cfg)
+	if active != dense {
+		t.Fatalf("long-latency active %+v != dense %+v", active, dense)
+	}
+}
+
+// TestWheelSizedFromTopology pins the wheel sizing rule for the paper's two
+// topologies: max scheduled delay is max(4, 2+maxChannelLatency), plus one
+// slot to distinguish it from the current cycle.
+func TestWheelSizedFromTopology(t *testing.T) {
+	if ws := New(meshConfig(1, 0.1)).wheelSize; ws != 5 {
+		t.Errorf("mesh wheel size %d, want 5", ws)
+	}
+	if ws := New(fbflyConfig(1, 0.1)).wheelSize; ws != 6 {
+		t.Errorf("fbfly wheel size %d, want 6", ws)
+	}
+}

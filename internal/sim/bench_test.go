@@ -1,0 +1,40 @@
+package sim
+
+import "testing"
+
+// Benchmarks for the simulation core: each target runs one Fig.13-style
+// mesh (C=1) simulation per iteration under both the active-set scheduler
+// and the dense reference stepper, reporting simulated cycles per second
+// of wall-clock time. The drain-dominated low-rate point is where skipping
+// quiescent routers pays off most; the near-saturation point bounds the
+// scheduler's overhead when almost nothing is skippable.
+
+func benchNetwork(b *testing.B, rate float64, dense bool) {
+	b.ReportAllocs()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		cfg := meshConfig(1, rate)
+		cfg.Seed = 42
+		cfg.Dense = dense
+		res := New(cfg).Run()
+		if res.FlitsDelivered == 0 {
+			b.Fatal("no traffic moved")
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
+}
+
+func BenchmarkNetworkLowRate(b *testing.B) {
+	// Fig. 13 mesh 2x1x1 at 0.05 flits/cycle/terminal: mostly idle routers
+	// and a long drain tail.
+	b.Run("active", func(b *testing.B) { benchNetwork(b, 0.05, false) })
+	b.Run("dense", func(b *testing.B) { benchNetwork(b, 0.05, true) })
+}
+
+func BenchmarkNetworkNearSaturation(b *testing.B) {
+	// Fig. 13 mesh 2x1x1 near its saturation rate: every router busy almost
+	// every cycle, so this measures active-set bookkeeping overhead.
+	b.Run("active", func(b *testing.B) { benchNetwork(b, 0.30, false) })
+	b.Run("dense", func(b *testing.B) { benchNetwork(b, 0.30, true) })
+}

@@ -50,8 +50,9 @@ type Config struct {
 	Pattern traffic.Pattern
 	// InjectionRate is the offered load in flits/cycle/terminal.
 	InjectionRate float64
-	// ReadFraction is the probability a transaction is a read (default 0.5).
-	ReadFraction float64
+	// ReadFraction is the probability a transaction is a read. Nil selects
+	// the paper's default of 0.5; point at 0 for an all-write workload.
+	ReadFraction *float64
 	// Seed makes the run deterministic.
 	Seed uint64
 	// Warmup, Measure and Drain are the phase lengths in cycles.
@@ -62,14 +63,19 @@ type Config struct {
 	// Validate enables per-cycle allocation checking in every router
 	// (panics on any invariant violation); used by tests.
 	Validate bool
+	// Dense disables the active-set scheduler and steps every router and
+	// terminal every cycle. Results are bit-identical either way; the dense
+	// stepper is kept as the golden reference for that equivalence.
+	Dense bool
 }
 
 func (c *Config) applyDefaults() {
 	if c.BufDepth == 0 {
 		c.BufDepth = 8
 	}
-	if c.ReadFraction == 0 {
-		c.ReadFraction = 0.5
+	if c.ReadFraction == nil {
+		rf := 0.5
+		c.ReadFraction = &rf
 	}
 	if c.Pattern == nil {
 		p, err := traffic.NewPattern("uniform", c.Topology.Terminals())
@@ -147,7 +153,17 @@ type Network struct {
 	routers   []*router.Router
 	terminals []*terminal
 	wheel     [][]event
+	wheelSize int64
 	now       int64
+
+	// lastStep[r] is the last cycle router r was stepped; the active-set
+	// scheduler uses it to replay skipped idle cycles into the allocators.
+	lastStep []int64
+
+	// Free lists recycle flit and packet objects between ejection and the
+	// next injection; a Network is single-goroutine so no locking is needed.
+	flitPool []*router.Flit
+	pktPool  []*router.Packet
 
 	nextPktID int64
 	created   int64 // flits injected into source queues (for conservation)
@@ -165,7 +181,19 @@ type Network struct {
 	hops               stats.Running
 }
 
-const wheelSize = 16
+// wheelSizeFor sizes the timing wheel for a topology: the largest delay
+// ever scheduled is max(channel flit/credit delay 2+L, terminal credit
+// round trip 4), and a wheel of maxDelay+1 slots distinguishes all of them
+// from "now".
+func wheelSizeFor(t *topology.Topology) int64 {
+	maxDelay := int64(4)
+	for _, ch := range t.Channels {
+		if d := int64(2 + ch.Latency); d > maxDelay {
+			maxDelay = d
+		}
+	}
+	return maxDelay + 1
+}
 
 // New builds a network simulation.
 func New(cfg Config) *Network {
@@ -183,9 +211,15 @@ func New(cfg Config) *Network {
 		panic(fmt.Sprintf("sim: spec has %d resource classes, routing needs %d",
 			cfg.Spec.ResourceClasses, cfg.Routing.ResourceClasses()))
 	}
+	ws := wheelSizeFor(cfg.Topology)
 	n := &Network{
-		cfg:   cfg,
-		wheel: make([][]event, wheelSize),
+		cfg:       cfg,
+		wheel:     make([][]event, ws),
+		wheelSize: ws,
+		lastStep:  make([]int64, cfg.Topology.Routers),
+	}
+	for i := range n.lastStep {
+		n.lastStep[i] = -1
 	}
 	root := xrand.New(cfg.Seed)
 	for r := 0; r < cfg.Topology.Routers; r++ {
@@ -218,10 +252,10 @@ func (n *Network) Now() int64 { return n.now }
 func (n *Network) Router(r int) *router.Router { return n.routers[r] }
 
 func (n *Network) schedule(delay int64, e event) {
-	if delay < 1 || delay >= wheelSize {
-		panic(fmt.Sprintf("sim: bad event delay %d", delay))
+	if delay < 1 || delay >= n.wheelSize {
+		panic(fmt.Sprintf("sim: bad event delay %d (wheel size %d)", delay, n.wheelSize))
 	}
-	slot := (n.now + delay) % wheelSize
+	slot := (n.now + delay) % n.wheelSize
 	n.wheel[slot] = append(n.wheel[slot], e)
 }
 
@@ -229,12 +263,21 @@ func (n *Network) schedule(delay int64, e event) {
 func (n *Network) Occupancy(r, p int) int { return n.routers[r].OutputOccupancy(p) }
 
 // stepCycle advances the simulation by one cycle.
+//
+// The default schedule is active-set: terminals that cannot make progress
+// (no offered load, no open packet, empty source queues) and quiescent
+// routers (no occupied input VC) are skipped. Skipping is bit-exact with
+// the dense schedule because a dormant terminal draws no randomness (the
+// injection process consumes no RNG at zero rate) and a quiescent router's
+// Step is a state no-op apart from idle-variant allocator priority, which
+// SkipIdle replays on wake-up. Iteration stays in id order in both modes,
+// so packet IDs and RNG streams are identical.
 func (n *Network) stepCycle() {
 	if n.cfg.Trace != nil {
 		n.cfg.Trace.SetCycle(n.now)
 	}
 	// 1. Deliver events scheduled for this cycle.
-	slot := n.now % wheelSize
+	slot := n.now % n.wheelSize
 	for _, e := range n.wheel[slot] {
 		switch e.kind {
 		case evFlitToRouter:
@@ -250,43 +293,67 @@ func (n *Network) stepCycle() {
 	n.wheel[slot] = n.wheel[slot][:0]
 
 	// 2. Terminals: new transactions and flit injection.
-	for _, t := range n.terminals {
-		t.generate(n)
-		t.send(n)
-	}
-
 	// 3. Routers: one pipeline cycle each.
-	topo := n.cfg.Topology
-	for _, r := range n.routers {
-		deps, credits := r.Step()
-		for _, d := range deps {
-			if topo.IsTerminalPort(d.OutPort) {
-				term := topo.RouterTerminal(r.ID(), d.OutPort)
-				// ST (1) + ejection link (1).
-				n.schedule(2, event{kind: evFlitToTerminal, terminal: term, flit: d.Flit})
-				// Sink consumes instantly; credit returns after the round
-				// trip (ejection link + credit processing).
-				n.schedule(4, event{kind: evCreditToRouter, router: r.ID(), port: d.OutPort, vc: d.OutVC})
-				continue
-			}
-			ch := topo.Channels[topo.OutChannel[r.ID()][d.OutPort]]
-			n.schedule(int64(2+ch.Latency), event{
-				kind: evFlitToRouter, router: ch.Dst, port: ch.DstPort, vc: d.OutVC, flit: d.Flit,
-			})
+	if n.cfg.Dense {
+		for _, t := range n.terminals {
+			t.generate(n)
+			t.send(n)
 		}
-		for _, c := range credits {
-			if topo.IsTerminalPort(c.InPort) {
-				term := topo.RouterTerminal(r.ID(), c.InPort)
-				n.schedule(2, event{kind: evCreditToTerminal, terminal: term, vc: c.InVC})
+		for _, r := range n.routers {
+			n.stepRouter(r)
+		}
+	} else {
+		for _, t := range n.terminals {
+			if t.dormant() {
 				continue
 			}
-			ch := topo.Channels[topo.InChannel[r.ID()][c.InPort]]
-			n.schedule(int64(2+ch.Latency), event{
-				kind: evCreditToRouter, router: ch.Src, port: ch.SrcPort, vc: c.InVC,
-			})
+			t.generate(n)
+			t.send(n)
+		}
+		for i, r := range n.routers {
+			if r.Quiescent() {
+				continue
+			}
+			if gap := n.now - n.lastStep[i] - 1; gap > 0 {
+				r.SkipIdle(gap)
+			}
+			n.lastStep[i] = n.now
+			n.stepRouter(r)
 		}
 	}
 	n.now++
+}
+
+// stepRouter advances one router and schedules its departures and credits.
+func (n *Network) stepRouter(r *router.Router) {
+	topo := n.cfg.Topology
+	deps, credits := r.Step()
+	for _, d := range deps {
+		if topo.IsTerminalPort(d.OutPort) {
+			term := topo.RouterTerminal(r.ID(), d.OutPort)
+			// ST (1) + ejection link (1).
+			n.schedule(2, event{kind: evFlitToTerminal, terminal: term, flit: d.Flit})
+			// Sink consumes instantly; credit returns after the round
+			// trip (ejection link + credit processing).
+			n.schedule(4, event{kind: evCreditToRouter, router: r.ID(), port: d.OutPort, vc: d.OutVC})
+			continue
+		}
+		ch := topo.Channels[topo.OutChannel[r.ID()][d.OutPort]]
+		n.schedule(int64(2+ch.Latency), event{
+			kind: evFlitToRouter, router: ch.Dst, port: ch.DstPort, vc: d.OutVC, flit: d.Flit,
+		})
+	}
+	for _, c := range credits {
+		if topo.IsTerminalPort(c.InPort) {
+			term := topo.RouterTerminal(r.ID(), c.InPort)
+			n.schedule(2, event{kind: evCreditToTerminal, terminal: term, vc: c.InVC})
+			continue
+		}
+		ch := topo.Channels[topo.InChannel[r.ID()][c.InPort]]
+		n.schedule(int64(2+ch.Latency), event{
+			kind: evCreditToRouter, router: ch.Src, port: ch.SrcPort, vc: c.InVC,
+		})
+	}
 }
 
 // Run executes warmup, measurement and drain and returns the result.
@@ -357,10 +424,18 @@ func (n *Network) flitDelivered() {
 	}
 }
 
-// newPacket registers a freshly created packet.
+// newPacket registers a freshly created packet, reusing a recycled object
+// when one is available.
 func (n *Network) newPacket(t traffic.PacketType, src, dst int, createdAt int64) *router.Packet {
 	n.nextPktID++
-	p := &router.Packet{
+	var p *router.Packet
+	if k := len(n.pktPool); k > 0 {
+		p = n.pktPool[k-1]
+		n.pktPool = n.pktPool[:k-1]
+	} else {
+		p = new(router.Packet)
+	}
+	*p = router.Packet{
 		ID:        n.nextPktID,
 		Type:      t,
 		Src:       src,
@@ -375,6 +450,35 @@ func (n *Network) newPacket(t traffic.PacketType, src, dst int, createdAt int64)
 		n.inFlight++
 	}
 	return p
+}
+
+// makeFlits expands a packet into flits appended to buf[:0], drawing from
+// the free list; it replaces router.MakeFlits on the injection path.
+func (n *Network) makeFlits(p *router.Packet, buf []*router.Flit) []*router.Flit {
+	buf = buf[:0]
+	for i := 0; i < p.Size; i++ {
+		var f *router.Flit
+		if k := len(n.flitPool); k > 0 {
+			f = n.flitPool[k-1]
+			n.flitPool = n.flitPool[:k-1]
+		} else {
+			f = new(router.Flit)
+		}
+		f.Pkt, f.Seq, f.Head, f.Tail = p, i, i == 0, i == p.Size-1
+		buf = append(buf, f)
+	}
+	return buf
+}
+
+// recycleFlit returns an ejected flit to the free list.
+func (n *Network) recycleFlit(f *router.Flit) {
+	f.Pkt = nil
+	n.flitPool = append(n.flitPool, f)
+}
+
+// recyclePacket returns a fully delivered packet to the free list.
+func (n *Network) recyclePacket(p *router.Packet) {
+	n.pktPool = append(n.pktPool, p)
 }
 
 // Conservation reports (flits injected into source queues and sent,

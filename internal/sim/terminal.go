@@ -9,6 +9,28 @@ import (
 	"repro/internal/xrand"
 )
 
+// pktQueue is a FIFO of packets with a head index, so dequeues neither
+// shift elements nor shrink the backing array's reusable capacity.
+type pktQueue struct {
+	buf  []*router.Packet
+	head int
+}
+
+func (q *pktQueue) empty() bool           { return q.head >= len(q.buf) }
+func (q *pktQueue) front() *router.Packet { return q.buf[q.head] }
+func (q *pktQueue) push(p *router.Packet) { q.buf = append(q.buf, p) }
+
+func (q *pktQueue) pop() *router.Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return p
+}
+
 // terminal models one network endpoint: it generates request transactions,
 // streams packet flits into its router's terminal-port input VCs (one flit
 // per cycle, credit flow-controlled), consumes ejected flits, and generates
@@ -22,8 +44,8 @@ type terminal struct {
 	spec     core.VCSpec
 
 	// Source queues: replies take strict priority over requests.
-	replyQ []*router.Packet
-	reqQ   []*router.Packet
+	replyQ pktQueue
+	reqQ   pktQueue
 
 	// Open packet being streamed and its flits.
 	cur      *router.Packet
@@ -54,7 +76,7 @@ func newTerminal(id, routerID, port int, cfg Config, rng *xrand.Source) *termina
 		credits:  make([]int, v),
 		curVC:    -1,
 	}
-	t.gen.ReadFraction = cfg.ReadFraction
+	t.gen.ReadFraction = *cfg.ReadFraction
 	for i := range t.credits {
 		t.credits[i] = cfg.BufDepth
 	}
@@ -66,6 +88,15 @@ func newTerminal(id, routerID, port int, cfg Config, rng *xrand.Source) *termina
 	return t
 }
 
+// dormant reports whether the terminal can be skipped this cycle: with no
+// offered load the injection process draws no randomness, and with no open
+// packet and empty source queues both generate and send are no-ops. The
+// predicate is re-evaluated every cycle, so events delivered earlier in the
+// same cycle (a reply enqueued by receive) wake the terminal immediately.
+func (t *terminal) dormant() bool {
+	return t.gen.InjectionRate <= 0 && t.cur == nil && t.replyQ.empty() && t.reqQ.empty()
+}
+
 // generate rolls the geometric injection process for this cycle.
 func (t *terminal) generate(n *Network) {
 	typ, dst, ok := t.gen.NextRequest(t.id, t.rng)
@@ -73,28 +104,31 @@ func (t *terminal) generate(n *Network) {
 		return
 	}
 	p := n.newPacket(typ, t.id, dst, n.now)
-	t.reqQ = append(t.reqQ, p)
+	t.reqQ.push(p)
 }
 
 // receive consumes an ejected flit; tails complete packets and requests
-// elicit replies in the next cycle.
+// elicit replies in the next cycle. Flits — and, at the tail, the packet —
+// return to the network's free lists.
 func (t *terminal) receive(n *Network, f *router.Flit) {
 	n.flitDelivered()
 	if n.cfg.Trace != nil {
 		n.cfg.Trace.Record(trace.Event{Kind: trace.Eject, Router: t.routerID,
 			Port: t.port, VC: -1, OutPort: -1, OutVC: -1, Packet: f.Pkt.ID, Seq: f.Seq})
 	}
-	if !f.Tail {
+	tail, p := f.Tail, f.Pkt
+	n.recycleFlit(f)
+	if !tail {
 		return
 	}
-	p := f.Pkt
 	n.packetDelivered(p)
 	if p.Type.IsRequest() {
 		// The reply is generated in the next cycle and takes priority over
 		// new request injections (§3.2).
 		reply := n.newPacket(p.Type.ReplyType(), t.id, p.Src, n.now+1)
-		t.replyQ = append(t.replyQ, reply)
+		t.replyQ.push(reply)
 	}
+	n.recyclePacket(p)
 }
 
 // credit restores one credit for input VC vc at the router's terminal port.
@@ -127,7 +161,8 @@ func (t *terminal) send(n *Network) {
 	t.curSeq++
 	if t.curSeq == len(t.curFlits) {
 		t.vcBusy[t.curVC] = false
-		t.cur, t.curFlits, t.curSeq, t.curVC = nil, nil, 0, -1
+		t.cur, t.curSeq, t.curVC = nil, 0, -1
+		t.curFlits = t.curFlits[:0]
 	}
 }
 
@@ -135,16 +170,16 @@ func (t *terminal) send(n *Network) {
 // Replies are strictly prioritized: while a reply waits, request injection
 // stalls.
 func (t *terminal) open(n *Network) {
-	var q *[]*router.Packet
+	var q *pktQueue
 	switch {
-	case len(t.replyQ) > 0 && t.replyQ[0].CreatedAt <= n.now:
+	case !t.replyQ.empty() && t.replyQ.front().CreatedAt <= n.now:
 		q = &t.replyQ
-	case len(t.reqQ) > 0 && t.reqQ[0].CreatedAt <= n.now:
+	case !t.reqQ.empty() && t.reqQ.front().CreatedAt <= n.now:
 		q = &t.reqQ
 	default:
 		return
 	}
-	p := (*q)[0]
+	p := q.front()
 	// Routing decision at injection (UGAL consults local queue state).
 	n.cfg.Routing.Inject(t.routerID, &p.Route, n, t.rng)
 	// The packet must occupy an input VC matching its message class and
@@ -159,9 +194,9 @@ func (t *terminal) open(n *Network) {
 	if vc < 0 {
 		return // head-of-line blocked until a VC frees up
 	}
-	*q = (*q)[1:]
+	q.pop()
 	t.cur = p
-	t.curFlits = router.MakeFlits(p)
+	t.curFlits = n.makeFlits(p, t.curFlits)
 	t.curSeq = 0
 	t.curVC = vc
 	t.vcBusy[vc] = true

@@ -146,21 +146,29 @@ const (
 
 // Mesh builds a k×k mesh with one terminal per router (the paper's mesh is
 // 8×8). All channels have unit latency.
-func Mesh(k int) *Topology {
+func Mesh(k int) *Topology { return MeshWithLatency(k, 1) }
+
+// MeshWithLatency builds a k×k mesh whose channels all have the given
+// latency in cycles; latencies above one model repeated or long global
+// wires between routers.
+func MeshWithLatency(k, latency int) *Topology {
 	if k < 2 {
 		panic("topology: mesh requires k >= 2")
+	}
+	if latency < 1 {
+		panic("topology: mesh channel latency must be >= 1")
 	}
 	t := newEmpty("mesh", k*k, 5, 1)
 	id := func(x, y int) int { return y*k + x }
 	for y := 0; y < k; y++ {
 		for x := 0; x < k; x++ {
 			if x+1 < k {
-				t.addChannel(id(x, y), MeshPortXPlus, id(x+1, y), MeshPortXMinus, 1)
-				t.addChannel(id(x+1, y), MeshPortXMinus, id(x, y), MeshPortXPlus, 1)
+				t.addChannel(id(x, y), MeshPortXPlus, id(x+1, y), MeshPortXMinus, latency)
+				t.addChannel(id(x+1, y), MeshPortXMinus, id(x, y), MeshPortXPlus, latency)
 			}
 			if y+1 < k {
-				t.addChannel(id(x, y), MeshPortYPlus, id(x, y+1), MeshPortYMinus, 1)
-				t.addChannel(id(x, y+1), MeshPortYMinus, id(x, y), MeshPortYPlus, 1)
+				t.addChannel(id(x, y), MeshPortYPlus, id(x, y+1), MeshPortYMinus, latency)
+				t.addChannel(id(x, y+1), MeshPortYMinus, id(x, y), MeshPortYPlus, latency)
 			}
 		}
 	}
