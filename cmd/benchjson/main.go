@@ -1,0 +1,120 @@
+// Command benchjson times the network-simulation benchmark points and
+// writes them as machine-readable JSON, so the performance trajectory of
+// the simulator stays comparable across changes without parsing `go test
+// -bench` output.
+//
+// Usage:
+//
+//	benchjson                     # default iteration count, writes BENCH_net.json
+//	benchjson -quick -out -       # single iteration per point, JSON to stdout
+//
+// Each benchmark point is a full warmup/measure/drain simulation of the
+// Fig. 13 mesh 2x1x1 design at a drain-dominated low rate and a
+// near-saturation rate, under the active-set scheduler and the dense
+// reference, serial and sharded. Runs are deterministic (seed 42), so
+// ns_per_op is the only field expected to move between revisions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// point is one timed configuration.
+type point struct {
+	Name           string  `json:"name"`
+	Rate           float64 `json:"rate"`
+	Dense          bool    `json:"dense"`
+	Shards         int     `json:"shards"`
+	Iters          int     `json:"iters"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	Cycles         int64   `json:"cycles_per_op"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	FlitsDelivered int64   `json:"flits_delivered_per_op"`
+}
+
+type report struct {
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	GoVersion  string  `json:"go_version"`
+	Points     []point `json:"points"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_net.json", "output file ('-' for stdout)")
+	quick := flag.Bool("quick", false, "one iteration per point (CI smoke)")
+	iters := flag.Int("iters", 3, "iterations per point")
+	flag.Parse()
+	if *quick {
+		*iters = 1
+	}
+
+	pt, err := experiments.PointByName("mesh", 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep := report{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), GoVersion: runtime.Version()}
+	for _, rate := range []float64{0.05, 0.30} {
+		for _, dense := range []bool{false, true} {
+			for _, shards := range []int{1, 2, 4} {
+				if dense && shards != 1 {
+					continue // the dense × sharded cross is covered by tests, not tracked perf
+				}
+				cfg := experiments.BuildSim(pt, rate, experiments.SimScale{
+					Warmup: 500, Measure: 1500, Drain: 8000, Seed: 42, Shards: shards, Dense: dense,
+				})
+				var cycles, flits int64
+				start := time.Now()
+				for i := 0; i < *iters; i++ {
+					res := sim.New(cfg).Run()
+					if res.FlitsDelivered == 0 {
+						fmt.Fprintf(os.Stderr, "benchjson: no traffic moved at rate %.2f\n", rate)
+						os.Exit(1)
+					}
+					cycles += res.Cycles
+					flits += res.FlitsDelivered
+				}
+				elapsed := time.Since(start)
+				sched := "active"
+				if dense {
+					sched = "dense"
+				}
+				rep.Points = append(rep.Points, point{
+					Name:           fmt.Sprintf("mesh_2x1x1/rate=%.2f/%s/shards=%d", rate, sched, shards),
+					Rate:           rate,
+					Dense:          dense,
+					Shards:         shards,
+					Iters:          *iters,
+					NsPerOp:        float64(elapsed.Nanoseconds()) / float64(*iters),
+					Cycles:         cycles / int64(*iters),
+					CyclesPerSec:   float64(cycles) / elapsed.Seconds(),
+					FlitsDelivered: flits / int64(*iters),
+				})
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d benchmark points to %s\n", len(rep.Points), *out)
+}

@@ -31,9 +31,11 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
 	flag.Parse()
 
-	stop := prof.Start(*cpuprofile, *memprofile)
+	stop := prof.StartAll(prof.Profiles{CPU: *cpuprofile, Mem: *memprofile, Block: *blockprofile, Mutex: *mutexprofile})
 	defer stop()
 
 	pt, err := experiments.PointByName(*topo, *c)

@@ -32,13 +32,16 @@ func main() {
 	drain := flag.Int("drain", 20000, "drain cycle budget")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	workers := flag.Int("workers", 4, "concurrent simulations per curve")
+	shards := flag.Int("shards", 0, "parallel shards within each simulation (0 = auto: split cores not used by -workers; results are bit-identical for any value)")
 	dense := flag.Bool("dense", false, "step every router every cycle (reference scheduler; slower, bit-identical)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
 	flag.Parse()
 
-	stop := prof.Start(*cpuprofile, *memprofile)
+	stop := prof.StartAll(prof.Profiles{CPU: *cpuprofile, Mem: *memprofile, Block: *blockprofile, Mutex: *mutexprofile})
 	defer stop()
 
 	pt, err := experiments.PointByName(*topo, *c)
@@ -46,7 +49,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	scale := experiments.SimScale{Warmup: *warmup, Measure: *measure, Drain: *drain, Seed: *seed, Workers: *workers, Dense: *dense}
+	scale := experiments.SimScale{Warmup: *warmup, Measure: *measure, Drain: *drain, Seed: *seed, Workers: *workers, Shards: *shards, Dense: *dense}
 	rates := experiments.InjectionRates(pt)
 
 	header := func(format string, args ...any) {

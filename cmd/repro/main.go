@@ -24,13 +24,16 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced trials and cycles")
 	workers := flag.Int("workers", 4, "concurrent simulations (or quality rate points) per curve")
+	shards := flag.Int("shards", 0, "parallel shards within each simulation (0 = serial stepping; results are bit-identical for any value)")
 	dense := flag.Bool("dense", false, "step every router every cycle (reference scheduler; slower, bit-identical)")
 	only := flag.String("only", "", "restrict to one experiment: fig4, fig5, fig6, fig7, fig10, fig11, fig12, fig13, fig14, vasweep, summary")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
 	flag.Parse()
 
-	stop := prof.Start(*cpuprofile, *memprofile)
+	stop := prof.StartAll(prof.Profiles{CPU: *cpuprofile, Mem: *memprofile, Block: *blockprofile, Mutex: *mutexprofile})
 	defer stop()
 
 	trials := 10000
@@ -40,6 +43,7 @@ func main() {
 		scale = experiments.SimScale{Warmup: 500, Measure: 1000, Drain: 4000, Seed: 42}
 	}
 	scale.Workers = *workers
+	scale.Shards = *shards
 	scale.Dense = *dense
 
 	want := func(name string) bool { return *only == "" || *only == name }

@@ -254,6 +254,12 @@ type SimScale struct {
 	// curve's rate points are swept (each point is an independent,
 	// deterministic simulation). Zero or one means serial execution.
 	Workers int
+	// Shards splits each individual simulation into this many concurrently
+	// stepped router groups (sim.Config.Shards); results are bit-identical
+	// for any value. Zero keeps single-threaded stepping, except in
+	// PatternSweep, which auto-shards when run-level parallelism alone
+	// cannot fill the machine.
+	Shards int
 	// Dense disables the simulator's active-set scheduling and steps every
 	// router and terminal every cycle; results are bit-identical either way
 	// (golden tests rely on this), the dense stepper is just slower.
@@ -331,6 +337,7 @@ func BuildSim(pt Point, rate float64, scale SimScale) sim.Config {
 		Warmup:        scale.Warmup,
 		Measure:       scale.Measure,
 		Drain:         scale.Drain,
+		Shards:        scale.Shards,
 		Dense:         scale.Dense,
 	}
 	switch pt.Topo {
@@ -513,6 +520,14 @@ func PatternSweep(pt Point, rate float64, scale SimScale, patterns []string) ([]
 	}
 	if workers > len(patterns) {
 		workers = len(patterns)
+	}
+	// Placement: run-level parallelism comes first (independent simulations
+	// scale perfectly), but a sweep shorter than the worker budget leaves
+	// cores idle — hand those to intra-run sharding. Explicit Shards wins.
+	if scale.Shards == 0 && workers < scale.Workers {
+		if perRun := scale.Workers / workers; perRun > 1 {
+			scale.Shards = perRun
+		}
 	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup

@@ -447,3 +447,43 @@ func TestReportsRoundTrip(t *testing.T) {
 		t.Fatal("network report JSON missing experiment tag")
 	}
 }
+
+func TestShardsMatchSerialCurves(t *testing.T) {
+	// SimScale.Shards threads intra-run parallelism through to the
+	// simulator; the sharded stepper is bit-identical to serial stepping,
+	// so whole Fig. 13 curves must come out unchanged.
+	pt, _ := PointByName("mesh", 1)
+	rates := []float64{0.1, 0.3}
+	base := SimScale{Warmup: 200, Measure: 400, Drain: 1500, Seed: 42}
+	serial := Fig13(pt, rates, base)
+	for _, shards := range []int{2, 4} {
+		sharded := base
+		sharded.Shards = shards
+		if got := Fig13(pt, rates, sharded); !reflect.DeepEqual(serial, got) {
+			t.Fatalf("shards=%d: Fig13 curves diverged from serial:\nserial:  %+v\nsharded: %+v",
+				shards, serial, got)
+		}
+	}
+}
+
+func TestPatternSweepAutoShardsMatchesSerial(t *testing.T) {
+	// A sweep shorter than the worker budget hands the leftover cores to
+	// intra-run sharding (Workers=8 over 2 patterns -> 4 shards each);
+	// results must still be bit-identical to the plain serial sweep.
+	pt, _ := PointByName("mesh", 1)
+	patterns := []string{"uniform", "transpose"}
+	serialScale := SimScale{Warmup: 200, Measure: 400, Drain: 2000, Seed: 7, Workers: 1}
+	serial, err := PatternSweep(pt, 0.1, serialScale, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := serialScale
+	wide.Workers = 8
+	got, err := PatternSweep(pt, 0.1, wide, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, got) {
+		t.Fatalf("auto-sharded pattern sweep diverged from serial:\nserial: %+v\nauto:   %+v", serial, got)
+	}
+}

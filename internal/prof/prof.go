@@ -10,14 +10,40 @@ import (
 	"runtime/pprof"
 )
 
+// Profiles names the output files for each supported profile; empty paths
+// disable that profile.
+type Profiles struct {
+	// CPU receives a CPU profile covering Start..stop.
+	CPU string
+	// Mem receives a heap profile written at stop (after a GC, so it
+	// reflects live data).
+	Mem string
+	// Block receives a goroutine-blocking profile (channel waits, barrier
+	// stalls) sampled at full rate between Start and stop.
+	Block string
+	// Mutex receives a mutex-contention profile sampled at full rate
+	// between Start and stop.
+	Mutex string
+}
+
 // Start begins CPU profiling when cpuPath is non-empty. The returned stop
 // function finishes the CPU profile and, when memPath is non-empty, writes a
-// heap profile (after a GC, so it reflects live data). Callers must invoke
-// stop before exiting; both paths may be empty, making Start a no-op.
+// heap profile. Callers must invoke stop before exiting; both paths may be
+// empty, making Start a no-op. See StartAll for the full profile set.
 func Start(cpuPath, memPath string) (stop func()) {
+	return StartAll(Profiles{CPU: cpuPath, Mem: memPath})
+}
+
+// StartAll enables every profile with a non-empty path and returns the stop
+// function that writes them out. Block and mutex profiling sample at full
+// rate while active (runtime.SetBlockProfileRate(1) /
+// SetMutexProfileFraction(1)) — measurable overhead, acceptable for the
+// diagnostic runs these flags exist for — and are switched off again by
+// stop.
+func StartAll(p Profiles) (stop func()) {
 	var cpuFile *os.File
-	if cpuPath != "" {
-		f, err := os.Create(cpuPath)
+	if p.CPU != "" {
+		f, err := os.Create(p.CPU)
 		if err != nil {
 			fatal(err)
 		}
@@ -26,13 +52,19 @@ func Start(cpuPath, memPath string) (stop func()) {
 		}
 		cpuFile = f
 	}
+	if p.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if p.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
 	return func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			cpuFile.Close()
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
+		if p.Mem != "" {
+			f, err := os.Create(p.Mem)
 			if err != nil {
 				fatal(err)
 			}
@@ -42,6 +74,26 @@ func Start(cpuPath, memPath string) (stop func()) {
 			}
 			f.Close()
 		}
+		if p.Block != "" {
+			writeLookup("block", p.Block)
+			runtime.SetBlockProfileRate(0)
+		}
+		if p.Mutex != "" {
+			writeLookup("mutex", p.Mutex)
+			runtime.SetMutexProfileFraction(0)
+		}
+	}
+}
+
+// writeLookup dumps one of the runtime's named profiles to path.
+func writeLookup(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fatal(err)
 	}
 }
 

@@ -315,6 +315,17 @@ func (r *Router) SkipIdle(idleCycles int64) {
 // Step advances the router by one cycle: route refresh, VC allocation and
 // (speculative) switch allocation, then switch traversal commits. The
 // returned slices are reused across calls.
+//
+// Concurrency contract: distinct Router instances share no mutable state,
+// so Step (and AcceptFlit/AcceptCredit/SkipIdle for the same router's
+// events) may run concurrently across routers — the sim package's sharded
+// stepper relies on this. Everything a router shares with its siblings is
+// read-only after New: Config carries the Spec by value and the Routing
+// function (NextHop mutates only the packet's own Route), VCSpec.ClassMask
+// returns freshly built bit vectors so per-router class masks never alias,
+// and each router constructs its own allocator and arbiter instances. A
+// single Router is not safe for concurrent use; the Trace collector is the
+// one shared mutable sink, which is why tracing forces serial stepping.
 func (r *Router) Step() ([]Departure, []Credit) {
 	r.deps = r.deps[:0]
 	r.credits = r.credits[:0]

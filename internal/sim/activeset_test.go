@@ -119,11 +119,11 @@ func TestFlitConservationActiveAllSpecModes(t *testing.T) {
 			n.SetInjectionRate(0)
 			for i := 0; i < 10000; i++ {
 				n.stepCycle()
-				if sent, delivered := n.SentFlits(), n.delivered; sent == delivered && i > 100 {
+				if sent, delivered := n.SentFlits(), n.deliveredFlits(); sent == delivered && i > 100 {
 					break
 				}
 			}
-			sent, delivered := n.SentFlits(), n.delivered
+			sent, delivered := n.SentFlits(), n.deliveredFlits()
 			if sent != delivered {
 				t.Errorf("%s %v: flit conservation violated: sent %d, delivered %d",
 					cfg.Topology.Name, mode, sent, delivered)
@@ -146,7 +146,7 @@ func TestSteadyStateStepAllocs(t *testing.T) {
 	if avg := testing.AllocsPerRun(2000, func() { n.stepCycle() }); avg >= 1 {
 		t.Fatalf("steady-state stepCycle allocates %.1f objects/cycle, want amortized zero", avg)
 	}
-	if len(n.flitPool) == 0 && len(n.pktPool) == 0 {
+	if len(n.shards[0].flitPool) == 0 && len(n.shards[0].pktPool) == 0 {
 		t.Fatal("free lists never populated; recycling path is dead")
 	}
 }

@@ -1,6 +1,11 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
 
 // Benchmarks for the simulation core: each target runs one Fig.13-style
 // mesh (C=1) simulation per iteration under both the active-set scheduler
@@ -10,12 +15,22 @@ import "testing"
 // scheduler's overhead when almost nothing is skippable.
 
 func benchNetwork(b *testing.B, rate float64, dense bool) {
+	benchNetworkShards(b, rate, dense, 0)
+}
+
+func benchNetworkShards(b *testing.B, rate float64, dense bool, shards int) {
+	benchNetworkSpec(b, rate, dense, shards, core.SpecReq)
+}
+
+func benchNetworkSpec(b *testing.B, rate float64, dense bool, shards int, spec core.SpecMode) {
 	b.ReportAllocs()
 	var cycles int64
 	for i := 0; i < b.N; i++ {
 		cfg := meshConfig(1, rate)
 		cfg.Seed = 42
 		cfg.Dense = dense
+		cfg.Shards = shards
+		cfg.SA.SpecMode = spec
 		res := New(cfg).Run()
 		if res.FlitsDelivered == 0 {
 			b.Fatal("no traffic moved")
@@ -37,4 +52,29 @@ func BenchmarkNetworkNearSaturation(b *testing.B) {
 	// every cycle, so this measures active-set bookkeeping overhead.
 	b.Run("active", func(b *testing.B) { benchNetwork(b, 0.30, false) })
 	b.Run("dense", func(b *testing.B) { benchNetwork(b, 0.30, true) })
+}
+
+// BenchmarkNetworkSharded measures the sharded stepper at the
+// near-saturation point, where intra-run parallelism is the only speedup
+// left (the active-set scheduler skips almost nothing there). shards=1
+// bounds the restructuring overhead of the two-phase cycle itself; higher
+// counts scale with available cores and degrade only by the per-cycle
+// barrier cost when cores are scarce.
+func BenchmarkNetworkSharded(b *testing.B) {
+	for _, s := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) {
+			benchNetworkShards(b, 0.30, false, s)
+		})
+	}
+}
+
+// BenchmarkNetworkShardedFig14 is the same near-saturation point under the
+// conventional speculation scheme (spec_gnt, a Fig. 14 series), pinning the
+// sharded stepper's scaling on a second allocator configuration.
+func BenchmarkNetworkShardedFig14(b *testing.B) {
+	for _, s := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) {
+			benchNetworkSpec(b, 0.30, false, s, core.SpecGnt)
+		})
+	}
 }

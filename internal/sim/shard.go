@@ -1,0 +1,446 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/traffic"
+)
+
+// This file implements the sharded cycle stepper. Routers and terminals are
+// partitioned into contiguous shards (a terminal always lives with its
+// router, so injection, ejection and UGAL's occupancy reads stay
+// shard-local), and every simulation cycle runs in two phases:
+//
+//  1. All shards concurrently deliver the cycle's events from their own
+//     timing wheels and step their terminals and routers. Events for
+//     entities owned by another shard — only inter-router channel flits and
+//     credits ever are — go to a per-shard outbox instead of a wheel.
+//  2. A single-threaded merge commits the outboxes into the destination
+//     shards' wheels in (source shard, emission) order, then commits the
+//     cycle's packet births and deliveries in destination-terminal order.
+//
+// Phase 2 is what makes results bit-identical for any shard count: within
+// one cycle every per-router and per-terminal mutation in phase 1 is
+// commutative (each input VC, credit counter and terminal receives at most
+// one event per cycle, and each RNG stream belongs to exactly one
+// terminal), so the only order-sensitive state is the global packet ID
+// counter and the floating-point measurement accumulators — and those are
+// only touched in phase 2, in an order that is a pure function of the
+// cycle's logical event set.
+
+// shard owns a contiguous range of routers and their terminals.
+type shard struct {
+	id  int
+	net *Network
+
+	r0, r1 int // owned routers [r0, r1)
+	t0, t1 int // owned terminals [t0, t1)
+
+	// wheel is the shard-local timing wheel; slot (now+delay)%wheelSize
+	// holds the events due at cycle now+delay for entities owned by this
+	// shard. slotLow counts consecutive drains that used far less than a
+	// slot's capacity, backing the shrink policy in recycleSlot.
+	wheel   [][]event
+	slotLow []int32
+
+	// outbox collects events emitted this cycle for routers owned by other
+	// shards; the merge phase moves them into the destination wheels.
+	outbox []outEvent
+
+	// lastStep[r-r0] is the last cycle router r was stepped; the active-set
+	// scheduler uses it to replay skipped idle cycles into the allocators.
+	lastStep []int64
+
+	// Free lists recycle flit and packet objects. A flit is drawn at its
+	// source terminal's shard and recycled at its destination's, so objects
+	// migrate between pools, but each pool is only touched by its own shard
+	// in phase 1 and by the single-threaded commit in phase 2.
+	flitPool []*router.Flit
+	pktPool  []*router.Packet
+
+	// newPkts are the requests created this cycle, in terminal order,
+	// awaiting ID assignment at commit (sharded mode only; serial mode
+	// assigns inline and leaves this empty).
+	newPkts []*router.Packet
+	// newMeasured counts this cycle's requests created inside the
+	// measurement window; committed into Network.measuredCreated/inFlight.
+	newMeasured int
+	// deliveries are the packets whose tail flit reached one of this
+	// shard's terminals this cycle; stats and replies commit in phase 2.
+	deliveries []delivery
+
+	// Cumulative flit counters, summed by the Network accessors.
+	created   int64
+	delivered int64
+	measFlits int64
+}
+
+// outEvent is a cross-shard event awaiting the merge phase.
+type outEvent struct {
+	shard int32
+	slot  int32
+	e     event
+}
+
+// delivery records a packet completion awaiting the commit phase. At most
+// one packet per terminal completes per cycle (a terminal's ejection port
+// is a switch output, granted at most once per cycle), so the destination
+// terminal is a unique, shard-layout-independent sort key.
+type delivery struct {
+	terminal int
+	pkt      *router.Packet
+}
+
+// Wheel slot shrink policy: a saturation burst can grow a slot's backing
+// array far beyond steady-state needs, and plain slot[:0] recycling would
+// pin that peak capacity for the rest of the run. After slotShrinkAfter
+// consecutive drains each using less than a quarter of a capacity above
+// slotShrinkMin, the slot is reallocated at half capacity, stepping down
+// geometrically toward actual usage without thrashing at the boundary.
+const (
+	slotShrinkMin   = 64
+	slotShrinkAfter = 64
+)
+
+// recycleSlot empties a drained wheel slot, shrinking persistently
+// oversized backing arrays.
+func (s *shard) recycleSlot(slot int64, used int) {
+	w := s.wheel[slot]
+	if c := cap(w); c > slotShrinkMin && used*4 < c {
+		if s.slotLow[slot]++; s.slotLow[slot] >= slotShrinkAfter {
+			s.wheel[slot] = make([]event, 0, c/2)
+			s.slotLow[slot] = 0
+			return
+		}
+	} else {
+		s.slotLow[slot] = 0
+	}
+	s.wheel[slot] = w[:0]
+}
+
+func (s *shard) slotFor(delay int64) int64 {
+	n := s.net
+	if delay < 1 || delay >= n.wheelSize {
+		panic(fmt.Sprintf("sim: bad event delay %d (wheel size %d)", delay, n.wheelSize))
+	}
+	return (n.now + delay) % n.wheelSize
+}
+
+// scheduleLocal inserts an event for an entity owned by this shard. All
+// terminal-link events are local by construction (a terminal shares its
+// router's shard).
+func (s *shard) scheduleLocal(delay int64, e event) {
+	slot := s.slotFor(delay)
+	s.wheel[slot] = append(s.wheel[slot], e)
+}
+
+// scheduleRouter inserts an event destined for an arbitrary router,
+// diverting cross-shard events to the outbox.
+func (s *shard) scheduleRouter(delay int64, e event) {
+	slot := s.slotFor(delay)
+	if d := s.net.shardOfRouter[e.router]; d != int32(s.id) {
+		s.outbox = append(s.outbox, outEvent{shard: d, slot: int32(slot), e: e})
+		return
+	}
+	s.wheel[slot] = append(s.wheel[slot], e)
+}
+
+// phase1 advances this shard by one cycle: deliver due events, then step
+// terminals and routers. Safe to run concurrently with other shards'
+// phase1; it touches only shard-owned state plus the read-only topology,
+// routing and config structures.
+func (s *shard) phase1() {
+	n := s.net
+	slot := n.now % n.wheelSize
+	evs := s.wheel[slot]
+	for i := range evs {
+		e := &evs[i]
+		switch e.kind {
+		case evFlitToRouter:
+			n.routers[e.router].AcceptFlit(e.port, e.vc, e.flit)
+		case evCreditToRouter:
+			n.routers[e.router].AcceptCredit(e.port, e.vc)
+		case evFlitToTerminal:
+			n.terminals[e.terminal].receive(s, e.flit)
+		case evCreditToTerminal:
+			n.terminals[e.terminal].credit(e.vc)
+		}
+	}
+	s.recycleSlot(slot, len(evs))
+
+	if n.cfg.Dense {
+		for t := s.t0; t < s.t1; t++ {
+			term := n.terminals[t]
+			term.generate(s)
+			term.send(s)
+		}
+		for r := s.r0; r < s.r1; r++ {
+			s.stepRouter(n.routers[r])
+		}
+	} else {
+		for t := s.t0; t < s.t1; t++ {
+			term := n.terminals[t]
+			if term.dormant() {
+				continue
+			}
+			term.generate(s)
+			term.send(s)
+		}
+		for r := s.r0; r < s.r1; r++ {
+			rt := n.routers[r]
+			if rt.Quiescent() {
+				continue
+			}
+			if gap := n.now - s.lastStep[r-s.r0] - 1; gap > 0 {
+				rt.SkipIdle(gap)
+			}
+			s.lastStep[r-s.r0] = n.now
+			s.stepRouter(rt)
+		}
+	}
+}
+
+// stepRouter advances one router and schedules its departures and credits.
+func (s *shard) stepRouter(r *router.Router) {
+	topo := s.net.cfg.Topology
+	deps, credits := r.Step()
+	for _, d := range deps {
+		if topo.IsTerminalPort(d.OutPort) {
+			term := topo.RouterTerminal(r.ID(), d.OutPort)
+			// ST (1) + ejection link (1).
+			s.scheduleLocal(2, event{kind: evFlitToTerminal, terminal: term, flit: d.Flit})
+			// Sink consumes instantly; credit returns after the round
+			// trip (ejection link + credit processing).
+			s.scheduleLocal(4, event{kind: evCreditToRouter, router: r.ID(), port: d.OutPort, vc: d.OutVC})
+			continue
+		}
+		ch := topo.Channels[topo.OutChannel[r.ID()][d.OutPort]]
+		s.scheduleRouter(int64(2+ch.Latency), event{
+			kind: evFlitToRouter, router: ch.Dst, port: ch.DstPort, vc: d.OutVC, flit: d.Flit,
+		})
+	}
+	for _, c := range credits {
+		if topo.IsTerminalPort(c.InPort) {
+			term := topo.RouterTerminal(r.ID(), c.InPort)
+			s.scheduleLocal(2, event{kind: evCreditToTerminal, terminal: term, vc: c.InVC})
+			continue
+		}
+		ch := topo.Channels[topo.InChannel[r.ID()][c.InPort]]
+		s.scheduleRouter(int64(2+ch.Latency), event{
+			kind: evCreditToRouter, router: ch.Src, port: ch.SrcPort, vc: c.InVC,
+		})
+	}
+}
+
+// flitDelivered counts an ejected flit for throughput accounting.
+func (s *shard) flitDelivered() {
+	s.delivered++
+	n := s.net
+	if n.now >= n.measStart && n.now < n.measEnd {
+		s.measFlits++
+	}
+}
+
+// allocPacket draws a recycled packet object (or allocates one) and
+// initializes its fields. ID assignment and measurement accounting are the
+// caller's responsibility.
+func (s *shard) allocPacket(t traffic.PacketType, src, dst int, createdAt int64) *router.Packet {
+	var p *router.Packet
+	if k := len(s.pktPool); k > 0 {
+		p = s.pktPool[k-1]
+		s.pktPool = s.pktPool[:k-1]
+	} else {
+		p = new(router.Packet)
+	}
+	*p = router.Packet{
+		Type:      t,
+		Src:       src,
+		Dst:       dst,
+		Size:      t.Flits(),
+		CreatedAt: createdAt,
+		Route:     routing.PacketRoute{DestTerminal: dst, Intermediate: -1},
+	}
+	s.created += int64(p.Size)
+	return p
+}
+
+// newRequest registers a freshly created request packet. Serial mode takes
+// the next global ID immediately; sharded phase 1 defers assignment to the
+// commit, which hands out the same IDs in the same terminal-order sequence.
+func (s *shard) newRequest(t traffic.PacketType, src, dst int, createdAt int64) *router.Packet {
+	p := s.allocPacket(t, src, dst, createdAt)
+	n := s.net
+	if n.serial {
+		n.nextPktID++
+		p.ID = n.nextPktID
+	} else {
+		s.newPkts = append(s.newPkts, p)
+	}
+	if createdAt >= n.measStart && createdAt < n.measEnd {
+		s.newMeasured++
+	}
+	return p
+}
+
+// makeFlits expands a packet into flits appended to buf[:0], drawing from
+// the shard's free list; it replaces router.MakeFlits on the injection path.
+func (s *shard) makeFlits(p *router.Packet, buf []*router.Flit) []*router.Flit {
+	buf = buf[:0]
+	for i := 0; i < p.Size; i++ {
+		var f *router.Flit
+		if k := len(s.flitPool); k > 0 {
+			f = s.flitPool[k-1]
+			s.flitPool = s.flitPool[:k-1]
+		} else {
+			f = new(router.Flit)
+		}
+		f.Pkt, f.Seq, f.Head, f.Tail = p, i, i == 0, i == p.Size-1
+		buf = append(buf, f)
+	}
+	return buf
+}
+
+// recycleFlit returns an ejected flit to the shard's free list.
+func (s *shard) recycleFlit(f *router.Flit) {
+	f.Pkt = nil
+	s.flitPool = append(s.flitPool, f)
+}
+
+// mergeAndCommit is phase 2 of a cycle: single-threaded, it moves
+// cross-shard events into the destination wheels and commits the cycle's
+// packet births and deliveries in a canonical order, making results
+// bit-identical for any shard count.
+func (n *Network) mergeAndCommit() {
+	// 1. Outboxes, in (source shard, emission) order — deterministic
+	// because each shard steps its terminals and routers in id order.
+	for _, s := range n.shards {
+		for _, oe := range s.outbox {
+			d := n.shards[oe.shard]
+			d.wheel[oe.slot] = append(d.wheel[oe.slot], oe.e)
+		}
+		s.outbox = s.outbox[:0]
+	}
+	// 2. IDs for this cycle's new requests, in terminal order (shards own
+	// contiguous terminal ranges and append in id order). Serial mode
+	// assigned them inline in newRequest — same order, since replies are
+	// only created below, after every request of the cycle.
+	for _, s := range n.shards {
+		for _, p := range s.newPkts {
+			n.nextPktID++
+			p.ID = n.nextPktID
+		}
+		s.newPkts = s.newPkts[:0]
+		n.measuredCreated += s.newMeasured
+		n.inFlight += s.newMeasured
+		s.newMeasured = 0
+	}
+	// 3. Deliveries, in destination-terminal order. Each shard's list is in
+	// wheel-slot order, which depends on the shard layout; the terminal is
+	// unique per cycle and layout-independent, so sort by it (insertion
+	// sort: the lists are tiny and this path must not allocate).
+	for _, s := range n.shards {
+		d := s.deliveries
+		for i := 1; i < len(d); i++ {
+			for j := i; j > 0 && d[j].terminal < d[j-1].terminal; j-- {
+				d[j], d[j-1] = d[j-1], d[j]
+			}
+		}
+		for _, dv := range d {
+			n.commitDelivery(s, dv)
+		}
+		s.deliveries = s.deliveries[:0]
+	}
+}
+
+// commitDelivery records a completed packet's statistics and generates the
+// reply its delivery elicits (§3.2: replies are created in the next cycle
+// and take priority over new request injections).
+func (n *Network) commitDelivery(s *shard, d delivery) {
+	p := d.pkt
+	n.packetDelivered(p)
+	if p.Type.IsRequest() {
+		reply := s.allocPacket(p.Type.ReplyType(), d.terminal, p.Src, n.now+1)
+		n.nextPktID++
+		reply.ID = n.nextPktID
+		if reply.CreatedAt >= n.measStart && reply.CreatedAt < n.measEnd {
+			n.measuredCreated++
+			n.inFlight++
+		}
+		n.terminals[d.terminal].replyQ.push(reply)
+	}
+	s.pktPool = append(s.pktPool, p)
+}
+
+// --- worker pool ---------------------------------------------------------------
+
+// workerResult carries a phase-1 panic from a worker back to the stepping
+// goroutine, so Validate-mode violations and flow-control bugs surface as
+// ordinary panics there instead of crashing the process from a worker.
+type workerResult struct {
+	panicVal any
+	stack    []byte
+}
+
+// runShardsParallel executes phase 1 on every shard concurrently: shards
+// 1..S-1 on persistent worker goroutines, shard 0 inline on the caller.
+func (n *Network) runShardsParallel() {
+	if !n.workersUp {
+		n.startWorkers()
+	}
+	for _, ch := range n.startCh {
+		ch <- struct{}{}
+	}
+	n.shards[0].phase1()
+	var failed workerResult
+	for range n.startCh {
+		if r := <-n.doneCh; r.panicVal != nil {
+			failed = r
+		}
+	}
+	if failed.panicVal != nil {
+		panic(fmt.Sprintf("sim: shard worker panicked: %v\n%s", failed.panicVal, failed.stack))
+	}
+}
+
+func (n *Network) startWorkers() {
+	n.startCh = make([]chan struct{}, len(n.shards)-1)
+	n.doneCh = make(chan workerResult, len(n.shards)-1)
+	for i := range n.startCh {
+		n.startCh[i] = make(chan struct{}, 1)
+		go n.shardWorker(n.shards[i+1], n.startCh[i])
+	}
+	n.workersUp = true
+}
+
+func (n *Network) shardWorker(s *shard, start <-chan struct{}) {
+	for range start {
+		n.doneCh <- runShardGuarded(s)
+	}
+}
+
+func runShardGuarded(s *shard) (res workerResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = workerResult{panicVal: r, stack: debug.Stack()}
+		}
+	}()
+	s.phase1()
+	return res
+}
+
+// Close stops the shard worker goroutines. Run calls it on return; callers
+// driving stepCycle directly with Shards > 1 should defer it. Idempotent,
+// and stepping again after Close transparently restarts the workers.
+func (n *Network) Close() {
+	if !n.workersUp {
+		return
+	}
+	for _, ch := range n.startCh {
+		close(ch)
+	}
+	n.startCh = nil
+	n.workersUp = false
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/router"
+	"repro/internal/trace"
+)
+
+// TestShardInvarianceGolden is the core contract of the sharded stepper:
+// for any shard count the two-phase schedule must reproduce the serial
+// stepper bit for bit — same RNG draw order, same packet IDs, same
+// floating-point latency sums — at seed 42 on both paper topologies and
+// all three speculation modes.
+func TestShardInvarianceGolden(t *testing.T) {
+	counts := []int{2, 4, runtime.NumCPU()}
+	for _, mk := range []func(int, float64) Config{meshConfig, fbflyConfig} {
+		for _, mode := range []core.SpecMode{core.SpecNone, core.SpecGnt, core.SpecReq} {
+			base := mk(2, 0.3)
+			base.Seed = 42
+			base.SA.SpecMode = mode
+			base.Warmup, base.Measure, base.Drain = 200, 500, 5000
+			serial := New(base).Run()
+			for _, s := range counts {
+				cfg := base
+				cfg.Shards = s
+				if got := New(cfg).Run(); got != serial {
+					t.Errorf("%s %v shards=%d diverged from serial:\nserial:  %+v\nsharded: %+v",
+						base.Topology.Name, mode, s, serial, got)
+				}
+			}
+		}
+	}
+}
+
+// TestShardInvarianceComposesWithDense checks the sharded stepper against
+// the dense reference: sharding and the active-set scheduler are
+// independent axes, and all four combinations must agree.
+func TestShardInvarianceComposesWithDense(t *testing.T) {
+	base := meshConfig(2, 0.3)
+	base.Seed = 42
+	base.Warmup, base.Measure, base.Drain = 200, 500, 5000
+	want := New(base).Run()
+	for _, dense := range []bool{false, true} {
+		for _, s := range []int{1, 4} {
+			cfg := base
+			cfg.Dense = dense
+			cfg.Shards = s
+			if got := New(cfg).Run(); got != want {
+				t.Errorf("dense=%v shards=%d diverged:\nwant: %+v\ngot:  %+v", dense, s, want, got)
+			}
+		}
+	}
+}
+
+// TestShardFlitConservation drains a loaded network stepped with an uneven
+// shard split (64 routers over 3 shards): every flit handed to a router
+// must still reach a terminal, and Close must shut the workers down.
+func TestShardFlitConservation(t *testing.T) {
+	cfg := meshConfig(2, 0.3)
+	cfg.Shards = 3
+	n := New(cfg)
+	defer n.Close()
+	for i := 0; i < 2500; i++ {
+		n.stepCycle()
+	}
+	n.SetInjectionRate(0)
+	for i := 0; i < 10000; i++ {
+		n.stepCycle()
+		if sent, delivered := n.SentFlits(), n.deliveredFlits(); sent == delivered && i > 100 {
+			break
+		}
+	}
+	sent, delivered := n.SentFlits(), n.deliveredFlits()
+	if sent != delivered {
+		t.Fatalf("shards=3: flit conservation violated: sent %d, delivered %d", sent, delivered)
+	}
+	if sent == 0 {
+		t.Fatal("no traffic moved")
+	}
+}
+
+// TestShardValidateParallel runs the parallel stepper with per-cycle
+// allocation checking in every router on both topologies; under `go test
+// -race` this doubles as the data-race certification of phase 1, and any
+// worker panic must surface on the stepping goroutine.
+func TestShardValidateParallel(t *testing.T) {
+	for _, mk := range []func(int, float64) Config{meshConfig, fbflyConfig} {
+		cfg := mk(2, 0.35)
+		cfg.Shards = 4
+		cfg.Validate = true
+		cfg.Warmup, cfg.Measure, cfg.Drain = 200, 400, 4000
+		if res := New(cfg).Run(); res.FlitsDelivered == 0 {
+			t.Errorf("%s shards=4 validated: no flits moved", cfg.Topology.Name)
+		}
+	}
+}
+
+// TestShardWorkerPanicPropagates proves a panic inside a worker-owned
+// shard (Validate tripping, flow-control bugs) reaches the caller of Run
+// instead of crashing the process from a worker goroutine.
+func TestShardWorkerPanicPropagates(t *testing.T) {
+	cfg := meshConfig(1, 0.2)
+	cfg.Shards = 4
+	n := New(cfg)
+	defer n.Close()
+	for i := 0; i < 50; i++ {
+		n.stepCycle()
+	}
+	// Plant a malformed event in a worker-owned shard's wheel: delivering a
+	// flit to an out-of-range VC panics inside that worker's phase 1, and
+	// the pool must re-raise it here.
+	last := n.shards[len(n.shards)-1]
+	slot := (n.now + 1) % n.wheelSize
+	last.wheel[slot] = append(last.wheel[slot], event{
+		kind: evFlitToRouter, router: last.r0, port: 0, vc: 1 << 20,
+		flit: &router.Flit{Pkt: &router.Packet{Size: 1}, Head: true, Tail: true},
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("corrupted shard did not panic on the stepping goroutine")
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		n.stepCycle()
+	}
+}
+
+// TestShardTraceForcesSerial pins the documented clamp: tracing collectors
+// are not concurrency-safe and same-cycle trace events need inline packet
+// IDs, so a traced run must fall back to one shard and still drain.
+func TestShardTraceForcesSerial(t *testing.T) {
+	collector := trace.NewCollector(100000)
+	cfg := meshConfig(1, 0.05)
+	cfg.Shards = 4
+	cfg.Warmup, cfg.Measure, cfg.Drain = 100, 200, 2000
+	cfg.Trace = trace.New(collector, nil)
+	n := New(cfg)
+	if n.Shards() != 1 {
+		t.Fatalf("traced network runs %d shards, want 1", n.Shards())
+	}
+	if res := n.Run(); res.Unfinished != 0 || collector.Total() == 0 {
+		t.Fatalf("traced sharded-config run broken: %+v, %d events", n.Run(), collector.Total())
+	}
+}
+
+// TestShardPartition checks the router/terminal partition: contiguous,
+// balanced within one router, covering, terminals co-resident with their
+// routers, and shard counts clamped to the router count.
+func TestShardPartition(t *testing.T) {
+	cfg := meshConfig(1, 0)
+	cfg.Shards = 3
+	n := New(cfg)
+	conc := cfg.Topology.Concentration
+	prevR, prevT := 0, 0
+	for i, s := range n.shards {
+		if s.r0 != prevR || s.t0 != prevT {
+			t.Fatalf("shard %d not contiguous: r0=%d t0=%d, want %d/%d", i, s.r0, s.t0, prevR, prevT)
+		}
+		if s.t1 != s.r1*conc {
+			t.Fatalf("shard %d terminals [%d,%d) not aligned to routers [%d,%d)", i, s.t0, s.t1, s.r0, s.r1)
+		}
+		if size := s.r1 - s.r0; size < cfg.Topology.Routers/3 || size > cfg.Topology.Routers/3+1 {
+			t.Fatalf("shard %d unbalanced: %d routers", i, size)
+		}
+		for r := s.r0; r < s.r1; r++ {
+			if n.shardOfRouter[r] != int32(i) {
+				t.Fatalf("shardOfRouter[%d] = %d, want %d", r, n.shardOfRouter[r], i)
+			}
+		}
+		prevR, prevT = s.r1, s.t1
+	}
+	if prevR != cfg.Topology.Routers || prevT != cfg.Topology.Terminals() {
+		t.Fatalf("partition covers %d routers / %d terminals, want %d / %d",
+			prevR, prevT, cfg.Topology.Routers, cfg.Topology.Terminals())
+	}
+
+	over := meshConfig(1, 0)
+	over.Shards = 10000
+	if got := New(over).Shards(); got != over.Topology.Routers {
+		t.Fatalf("oversized shard count clamped to %d, want %d", got, over.Topology.Routers)
+	}
+}
+
+// TestWheelSlotCapacityDecay covers the slot-retention fix: a saturation
+// burst balloons the wheel slots' backing arrays, and sustained
+// low-occupancy cycles afterwards must shrink them back down instead of
+// pinning the peak capacity for the rest of the run.
+func TestWheelSlotCapacityDecay(t *testing.T) {
+	cfg := meshConfig(2, 0.9) // well past saturation: slots fill up
+	n := New(cfg)
+	for i := 0; i < 1500; i++ {
+		n.stepCycle()
+	}
+	maxCap := func() int {
+		m := 0
+		for _, s := range n.shards {
+			for _, w := range s.wheel {
+				if cap(w) > m {
+					m = cap(w)
+				}
+			}
+		}
+		return m
+	}
+	peak := maxCap()
+	if peak <= slotShrinkMin {
+		t.Fatalf("saturation burst never grew a slot past %d (peak %d); test is vacuous", slotShrinkMin, peak)
+	}
+	// Cut injection, drain, then idle long enough for the hysteresis to
+	// halve the slots repeatedly.
+	n.SetInjectionRate(0)
+	for i := 0; i < 12000; i++ {
+		n.stepCycle()
+	}
+	if got := maxCap(); got > 2*slotShrinkMin {
+		t.Fatalf("idle wheel slots retain capacity %d (burst peak %d), want <= %d",
+			got, peak, 2*slotShrinkMin)
+	}
+}

@@ -57,6 +57,13 @@ type Config struct {
 	Seed uint64
 	// Warmup, Measure and Drain are the phase lengths in cycles.
 	Warmup, Measure, Drain int
+	// Shards partitions the routers (each with its attached terminals) into
+	// this many groups that step concurrently within each cycle; a serial
+	// end-of-cycle merge keeps results bit-identical to the serial stepper
+	// for any value. 0 or 1 selects the serial stepper; values above the
+	// router count are clamped; tracing forces serial (collectors are not
+	// concurrency-safe, and same-cycle trace events need inline packet IDs).
+	Shards int
 	// Trace, when non-nil, receives pipeline and terminal events stamped
 	// with the simulation cycle.
 	Trace *trace.Tracer
@@ -129,7 +136,7 @@ type Result struct {
 	SpecGrantsUsed, Misspeculations, SpecMasked int64
 }
 
-// event kinds scheduled on the timing wheel.
+// event kinds scheduled on the timing wheels.
 type event struct {
 	kind     eventKind
 	router   int
@@ -152,36 +159,37 @@ type Network struct {
 	cfg       Config
 	routers   []*router.Router
 	terminals []*terminal
-	wheel     [][]event
-	wheelSize int64
 	now       int64
 
-	// lastStep[r] is the last cycle router r was stepped; the active-set
-	// scheduler uses it to replay skipped idle cycles into the allocators.
-	lastStep []int64
+	// shards partition the routers and terminals; shardOfRouter maps a
+	// router id to its owner. The serial stepper is the one-shard case.
+	shards        []*shard
+	shardOfRouter []int32
+	wheelSize     int64
+	serial        bool
 
-	// Free lists recycle flit and packet objects between ejection and the
-	// next injection; a Network is single-goroutine so no locking is needed.
-	flitPool []*router.Flit
-	pktPool  []*router.Packet
+	// Worker pool for the sharded stepper (see shard.go); started lazily on
+	// the first parallel cycle, stopped by Close.
+	workersUp bool
+	startCh   []chan struct{}
+	doneCh    chan workerResult
 
 	nextPktID int64
-	created   int64 // flits injected into source queues (for conservation)
-	delivered int64
 
-	// measurement
+	// Measurement state. Only the serial commit phase mutates it, so the
+	// floating-point accumulation order — the one place where reordering
+	// would leak into results — is independent of the shard layout.
 	measStart, measEnd int64
 	latencySum         float64
 	latencyCount       int
 	measuredCreated    int
-	measFlits          int64
 	inFlight           int // measured packets not yet delivered
 	latHist            stats.Hist
 	reqLat, repLat     stats.Running
 	hops               stats.Running
 }
 
-// wheelSizeFor sizes the timing wheel for a topology: the largest delay
+// wheelSizeFor sizes the timing wheels for a topology: the largest delay
 // ever scheduled is max(channel flit/credit delay 2+L, terminal credit
 // round trip 4), and a wheel of maxDelay+1 slots distinguishes all of them
 // from "now".
@@ -211,15 +219,9 @@ func New(cfg Config) *Network {
 		panic(fmt.Sprintf("sim: spec has %d resource classes, routing needs %d",
 			cfg.Spec.ResourceClasses, cfg.Routing.ResourceClasses()))
 	}
-	ws := wheelSizeFor(cfg.Topology)
 	n := &Network{
 		cfg:       cfg,
-		wheel:     make([][]event, ws),
-		wheelSize: ws,
-		lastStep:  make([]int64, cfg.Topology.Routers),
-	}
-	for i := range n.lastStep {
-		n.lastStep[i] = -1
+		wheelSize: wheelSizeFor(cfg.Topology),
 	}
 	root := xrand.New(cfg.Seed)
 	for r := 0; r < cfg.Topology.Routers; r++ {
@@ -242,7 +244,46 @@ func New(cfg Config) *Network {
 		rid, port := cfg.Topology.TerminalRouter(t)
 		n.terminals = append(n.terminals, newTerminal(t, rid, port, cfg, root.Split(uint64(t)+1)))
 	}
+	n.buildShards()
 	return n
+}
+
+// buildShards partitions the routers into contiguous balanced ranges, each
+// taking its attached terminals along (terminal t lives on router t/conc,
+// so terminal ranges are contiguous too and shard-order concatenation of
+// per-shard terminal iteration preserves global terminal-id order — the
+// property the commit phase's ID assignment relies on).
+func (n *Network) buildShards() {
+	R := n.cfg.Topology.Routers
+	conc := n.cfg.Topology.Concentration
+	S := n.cfg.Shards
+	if S < 1 || n.cfg.Trace != nil {
+		S = 1
+	}
+	if S > R {
+		S = R
+	}
+	n.serial = S == 1
+	n.shardOfRouter = make([]int32, R)
+	for i := 0; i < S; i++ {
+		r0, r1 := i*R/S, (i+1)*R/S
+		s := &shard{
+			id:  i,
+			net: n,
+			r0:  r0, r1: r1,
+			t0: r0 * conc, t1: r1 * conc,
+			wheel:    make([][]event, n.wheelSize),
+			slotLow:  make([]int32, n.wheelSize),
+			lastStep: make([]int64, r1-r0),
+		}
+		for j := range s.lastStep {
+			s.lastStep[j] = -1
+		}
+		for r := r0; r < r1; r++ {
+			n.shardOfRouter[r] = int32(i)
+		}
+		n.shards = append(n.shards, s)
+	}
 }
 
 // Now returns the current cycle.
@@ -251,113 +292,46 @@ func (n *Network) Now() int64 { return n.now }
 // Router returns router r (exposed for tests).
 func (n *Network) Router(r int) *router.Router { return n.routers[r] }
 
-func (n *Network) schedule(delay int64, e event) {
-	if delay < 1 || delay >= n.wheelSize {
-		panic(fmt.Sprintf("sim: bad event delay %d (wheel size %d)", delay, n.wheelSize))
-	}
-	slot := (n.now + delay) % n.wheelSize
-	n.wheel[slot] = append(n.wheel[slot], e)
-}
+// Shards returns the number of shards the network actually runs with
+// (after clamping), for tests and tools reporting their configuration.
+func (n *Network) Shards() int { return len(n.shards) }
 
-// Occupancy implements routing.QueueEstimator for UGAL.
+// Occupancy implements routing.QueueEstimator for UGAL. During phase 1 it
+// is only ever invoked for a terminal's own router (UGAL estimates queue
+// delay at the source), which lives on the terminal's shard, so the read
+// races with no other shard's writes.
 func (n *Network) Occupancy(r, p int) int { return n.routers[r].OutputOccupancy(p) }
 
-// stepCycle advances the simulation by one cycle.
+// stepCycle advances the simulation by one cycle in two phases: every
+// shard delivers its due events and steps its terminals and routers
+// (concurrently when Shards > 1), then a serial merge commits cross-shard
+// events, new-packet IDs and delivery statistics in a canonical order (see
+// shard.go for why that makes results bit-identical for any shard count).
 //
-// The default schedule is active-set: terminals that cannot make progress
-// (no offered load, no open packet, empty source queues) and quiescent
-// routers (no occupied input VC) are skipped. Skipping is bit-exact with
-// the dense schedule because a dormant terminal draws no randomness (the
-// injection process consumes no RNG at zero rate) and a quiescent router's
-// Step is a state no-op apart from idle-variant allocator priority, which
-// SkipIdle replays on wake-up. Iteration stays in id order in both modes,
-// so packet IDs and RNG streams are identical.
+// Within a shard the default schedule is active-set: terminals that cannot
+// make progress (no offered load, no open packet, empty source queues) and
+// quiescent routers (no occupied input VC) are skipped. Skipping is
+// bit-exact with the dense schedule because a dormant terminal draws no
+// randomness (the injection process consumes no RNG at zero rate) and a
+// quiescent router's Step is a state no-op apart from idle-variant
+// allocator priority, which SkipIdle replays on wake-up. Iteration stays
+// in id order in both modes, so packet IDs and RNG streams are identical.
 func (n *Network) stepCycle() {
 	if n.cfg.Trace != nil {
 		n.cfg.Trace.SetCycle(n.now)
 	}
-	// 1. Deliver events scheduled for this cycle.
-	slot := n.now % n.wheelSize
-	for _, e := range n.wheel[slot] {
-		switch e.kind {
-		case evFlitToRouter:
-			n.routers[e.router].AcceptFlit(e.port, e.vc, e.flit)
-		case evCreditToRouter:
-			n.routers[e.router].AcceptCredit(e.port, e.vc)
-		case evFlitToTerminal:
-			n.terminals[e.terminal].receive(n, e.flit)
-		case evCreditToTerminal:
-			n.terminals[e.terminal].credit(e.vc)
-		}
-	}
-	n.wheel[slot] = n.wheel[slot][:0]
-
-	// 2. Terminals: new transactions and flit injection.
-	// 3. Routers: one pipeline cycle each.
-	if n.cfg.Dense {
-		for _, t := range n.terminals {
-			t.generate(n)
-			t.send(n)
-		}
-		for _, r := range n.routers {
-			n.stepRouter(r)
-		}
+	if n.serial {
+		n.shards[0].phase1()
 	} else {
-		for _, t := range n.terminals {
-			if t.dormant() {
-				continue
-			}
-			t.generate(n)
-			t.send(n)
-		}
-		for i, r := range n.routers {
-			if r.Quiescent() {
-				continue
-			}
-			if gap := n.now - n.lastStep[i] - 1; gap > 0 {
-				r.SkipIdle(gap)
-			}
-			n.lastStep[i] = n.now
-			n.stepRouter(r)
-		}
+		n.runShardsParallel()
 	}
+	n.mergeAndCommit()
 	n.now++
-}
-
-// stepRouter advances one router and schedules its departures and credits.
-func (n *Network) stepRouter(r *router.Router) {
-	topo := n.cfg.Topology
-	deps, credits := r.Step()
-	for _, d := range deps {
-		if topo.IsTerminalPort(d.OutPort) {
-			term := topo.RouterTerminal(r.ID(), d.OutPort)
-			// ST (1) + ejection link (1).
-			n.schedule(2, event{kind: evFlitToTerminal, terminal: term, flit: d.Flit})
-			// Sink consumes instantly; credit returns after the round
-			// trip (ejection link + credit processing).
-			n.schedule(4, event{kind: evCreditToRouter, router: r.ID(), port: d.OutPort, vc: d.OutVC})
-			continue
-		}
-		ch := topo.Channels[topo.OutChannel[r.ID()][d.OutPort]]
-		n.schedule(int64(2+ch.Latency), event{
-			kind: evFlitToRouter, router: ch.Dst, port: ch.DstPort, vc: d.OutVC, flit: d.Flit,
-		})
-	}
-	for _, c := range credits {
-		if topo.IsTerminalPort(c.InPort) {
-			term := topo.RouterTerminal(r.ID(), c.InPort)
-			n.schedule(2, event{kind: evCreditToTerminal, terminal: term, vc: c.InVC})
-			continue
-		}
-		ch := topo.Channels[topo.InChannel[r.ID()][c.InPort]]
-		n.schedule(int64(2+ch.Latency), event{
-			kind: evCreditToRouter, router: ch.Src, port: ch.SrcPort, vc: c.InVC,
-		})
-	}
 }
 
 // Run executes warmup, measurement and drain and returns the result.
 func (n *Network) Run() Result {
+	defer n.Close()
 	cfg := n.cfg
 	n.measStart = int64(cfg.Warmup)
 	n.measEnd = int64(cfg.Warmup + cfg.Measure)
@@ -368,12 +342,16 @@ func (n *Network) Run() Result {
 	for n.now < drainEnd && n.inFlight > 0 {
 		n.stepCycle()
 	}
+	var measFlits int64
+	for _, s := range n.shards {
+		measFlits += s.measFlits
+	}
 	res := Result{
 		MeasuredPackets: n.measuredCreated,
 		Unfinished:      n.inFlight,
 		Cycles:          n.now,
-		FlitsDelivered:  n.delivered,
-		Throughput:      float64(n.measFlits) / float64(cfg.Measure) / float64(cfg.Topology.Terminals()),
+		FlitsDelivered:  n.deliveredFlits(),
+		Throughput:      float64(measFlits) / float64(cfg.Measure) / float64(cfg.Topology.Terminals()),
 		LatencyP50:      n.latHist.Median(),
 		LatencyP99:      n.latHist.P99(),
 		LatencyMax:      n.latHist.Max(),
@@ -399,7 +377,8 @@ func (n *Network) Run() Result {
 }
 
 // packetDelivered records statistics when a packet's tail reaches its
-// destination terminal.
+// destination terminal; called only from the serial commit phase, in
+// destination-terminal order.
 func (n *Network) packetDelivered(p *router.Packet) {
 	if p.CreatedAt >= n.measStart && p.CreatedAt < n.measEnd {
 		lat := n.now - p.CreatedAt
@@ -416,73 +395,21 @@ func (n *Network) packetDelivered(p *router.Packet) {
 	}
 }
 
-// flitDelivered counts ejected flits for throughput accounting.
-func (n *Network) flitDelivered() {
-	n.delivered++
-	if n.now >= n.measStart && n.now < n.measEnd {
-		n.measFlits++
+// deliveredFlits sums the per-shard ejected-flit counters.
+func (n *Network) deliveredFlits() int64 {
+	var d int64
+	for _, s := range n.shards {
+		d += s.delivered
 	}
-}
-
-// newPacket registers a freshly created packet, reusing a recycled object
-// when one is available.
-func (n *Network) newPacket(t traffic.PacketType, src, dst int, createdAt int64) *router.Packet {
-	n.nextPktID++
-	var p *router.Packet
-	if k := len(n.pktPool); k > 0 {
-		p = n.pktPool[k-1]
-		n.pktPool = n.pktPool[:k-1]
-	} else {
-		p = new(router.Packet)
-	}
-	*p = router.Packet{
-		ID:        n.nextPktID,
-		Type:      t,
-		Src:       src,
-		Dst:       dst,
-		Size:      t.Flits(),
-		CreatedAt: createdAt,
-		Route:     routing.PacketRoute{DestTerminal: dst, Intermediate: -1},
-	}
-	n.created += int64(p.Size)
-	if createdAt >= n.measStart && createdAt < n.measEnd {
-		n.measuredCreated++
-		n.inFlight++
-	}
-	return p
-}
-
-// makeFlits expands a packet into flits appended to buf[:0], drawing from
-// the free list; it replaces router.MakeFlits on the injection path.
-func (n *Network) makeFlits(p *router.Packet, buf []*router.Flit) []*router.Flit {
-	buf = buf[:0]
-	for i := 0; i < p.Size; i++ {
-		var f *router.Flit
-		if k := len(n.flitPool); k > 0 {
-			f = n.flitPool[k-1]
-			n.flitPool = n.flitPool[:k-1]
-		} else {
-			f = new(router.Flit)
-		}
-		f.Pkt, f.Seq, f.Head, f.Tail = p, i, i == 0, i == p.Size-1
-		buf = append(buf, f)
-	}
-	return buf
-}
-
-// recycleFlit returns an ejected flit to the free list.
-func (n *Network) recycleFlit(f *router.Flit) {
-	f.Pkt = nil
-	n.flitPool = append(n.flitPool, f)
-}
-
-// recyclePacket returns a fully delivered packet to the free list.
-func (n *Network) recyclePacket(p *router.Packet) {
-	n.pktPool = append(n.pktPool, p)
+	return d
 }
 
 // Conservation reports (flits injected into source queues and sent,
 // flits delivered); exposed for invariant tests.
 func (n *Network) Conservation() (sent, delivered int64) {
-	return n.created, n.delivered
+	var c int64
+	for _, s := range n.shards {
+		c += s.created
+	}
+	return c, n.deliveredFlits()
 }

@@ -97,11 +97,11 @@ func TestFlitConservation(t *testing.T) {
 	n.SetInjectionRate(0)
 	for i := 0; i < 10000; i++ {
 		n.stepCycle()
-		if sent, delivered := n.SentFlits(), n.delivered; sent == delivered && i > 100 {
+		if sent, delivered := n.SentFlits(), n.deliveredFlits(); sent == delivered && i > 100 {
 			break
 		}
 	}
-	sent, delivered := n.SentFlits(), n.delivered
+	sent, delivered := n.SentFlits(), n.deliveredFlits()
 	if sent != delivered {
 		t.Fatalf("flit conservation violated: sent %d, delivered %d", sent, delivered)
 	}

@@ -90,45 +90,42 @@ func newTerminal(id, routerID, port int, cfg Config, rng *xrand.Source) *termina
 
 // dormant reports whether the terminal can be skipped this cycle: with no
 // offered load the injection process draws no randomness, and with no open
-// packet and empty source queues both generate and send are no-ops. The
-// predicate is re-evaluated every cycle, so events delivered earlier in the
-// same cycle (a reply enqueued by receive) wake the terminal immediately.
+// packet and empty source queues both generate and send are no-ops. A reply
+// elicited by a delivery this cycle is enqueued by the end-of-cycle commit,
+// so the predicate sees it — and wakes the terminal — from the next cycle
+// on; that is exactly when the reply first becomes sendable (its CreatedAt
+// is the following cycle, which the open gate already enforced when receive
+// pushed replies mid-cycle).
 func (t *terminal) dormant() bool {
 	return t.gen.InjectionRate <= 0 && t.cur == nil && t.replyQ.empty() && t.reqQ.empty()
 }
 
 // generate rolls the geometric injection process for this cycle.
-func (t *terminal) generate(n *Network) {
+func (t *terminal) generate(s *shard) {
 	typ, dst, ok := t.gen.NextRequest(t.id, t.rng)
 	if !ok {
 		return
 	}
-	p := n.newPacket(typ, t.id, dst, n.now)
+	p := s.newRequest(typ, t.id, dst, s.net.now)
 	t.reqQ.push(p)
 }
 
-// receive consumes an ejected flit; tails complete packets and requests
-// elicit replies in the next cycle. Flits — and, at the tail, the packet —
-// return to the network's free lists.
-func (t *terminal) receive(n *Network, f *router.Flit) {
-	n.flitDelivered()
-	if n.cfg.Trace != nil {
-		n.cfg.Trace.Record(trace.Event{Kind: trace.Eject, Router: t.routerID,
+// receive consumes an ejected flit; flits return to the shard's free list
+// and a tail records the completed packet for the end-of-cycle commit,
+// which takes the delivery statistics and generates the reply (§3.2: in
+// the next cycle, with priority over new request injections).
+func (t *terminal) receive(s *shard, f *router.Flit) {
+	s.flitDelivered()
+	if tr := s.net.cfg.Trace; tr != nil {
+		tr.Record(trace.Event{Kind: trace.Eject, Router: t.routerID,
 			Port: t.port, VC: -1, OutPort: -1, OutVC: -1, Packet: f.Pkt.ID, Seq: f.Seq})
 	}
 	tail, p := f.Tail, f.Pkt
-	n.recycleFlit(f)
+	s.recycleFlit(f)
 	if !tail {
 		return
 	}
-	n.packetDelivered(p)
-	if p.Type.IsRequest() {
-		// The reply is generated in the next cycle and takes priority over
-		// new request injections (§3.2).
-		reply := n.newPacket(p.Type.ReplyType(), t.id, p.Src, n.now+1)
-		t.replyQ.push(reply)
-	}
-	n.recyclePacket(p)
+	s.deliveries = append(s.deliveries, delivery{terminal: t.id, pkt: p})
 }
 
 // credit restores one credit for input VC vc at the router's terminal port.
@@ -139,9 +136,9 @@ func (t *terminal) credit(vc int) {
 // send streams at most one flit into the router this cycle, opening a new
 // packet when the previous one finished and an input VC of the packet's
 // class is available.
-func (t *terminal) send(n *Network) {
+func (t *terminal) send(s *shard) {
 	if t.cur == nil {
-		t.open(n)
+		t.open(s)
 	}
 	if t.cur == nil {
 		return
@@ -152,12 +149,13 @@ func (t *terminal) send(n *Network) {
 	f := t.curFlits[t.curSeq]
 	t.credits[t.curVC]--
 	t.sentFlits++
-	if n.cfg.Trace != nil {
-		n.cfg.Trace.Record(trace.Event{Kind: trace.Inject, Router: t.routerID,
+	if tr := s.net.cfg.Trace; tr != nil {
+		tr.Record(trace.Event{Kind: trace.Inject, Router: t.routerID,
 			Port: t.port, VC: t.curVC, OutPort: -1, OutVC: -1, Packet: f.Pkt.ID, Seq: f.Seq})
 	}
-	// Injection link: 1 cycle of terminal processing + 1 cycle of wire.
-	n.schedule(2, event{kind: evFlitToRouter, router: t.routerID, port: t.port, vc: t.curVC, flit: f})
+	// Injection link: 1 cycle of terminal processing + 1 cycle of wire. The
+	// terminal's router is on its own shard by construction.
+	s.scheduleLocal(2, event{kind: evFlitToRouter, router: t.routerID, port: t.port, vc: t.curVC, flit: f})
 	t.curSeq++
 	if t.curSeq == len(t.curFlits) {
 		t.vcBusy[t.curVC] = false
@@ -169,7 +167,8 @@ func (t *terminal) send(n *Network) {
 // open starts streaming the next queued packet if an input VC is free.
 // Replies are strictly prioritized: while a reply waits, request injection
 // stalls.
-func (t *terminal) open(n *Network) {
+func (t *terminal) open(s *shard) {
+	n := s.net
 	var q *pktQueue
 	switch {
 	case !t.replyQ.empty() && t.replyQ.front().CreatedAt <= n.now:
@@ -196,7 +195,7 @@ func (t *terminal) open(n *Network) {
 	}
 	q.pop()
 	t.cur = p
-	t.curFlits = n.makeFlits(p, t.curFlits)
+	t.curFlits = s.makeFlits(p, t.curFlits)
 	t.curSeq = 0
 	t.curVC = vc
 	t.vcBusy[vc] = true
