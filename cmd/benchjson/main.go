@@ -1,18 +1,25 @@
-// Command benchjson times the network-simulation benchmark points and
-// writes them as machine-readable JSON, so the performance trajectory of
-// the simulator stays comparable across changes without parsing `go test
-// -bench` output.
+// Command benchjson times the repository's three performance surfaces and
+// writes them as machine-readable JSON, so the perf trajectory stays
+// comparable across changes without parsing `go test -bench` output:
+//
+//   - BENCH_net.json: full warmup/measure/drain network simulations of the
+//     Fig. 13 mesh 2x1x1 design at a drain-dominated low rate and a
+//     near-saturation rate, under the active-set scheduler and the dense
+//     reference, serial and sharded.
+//   - BENCH_alloc.json: allocator microbenchmarks — VC and switch allocator
+//     Allocate calls over synthetic workloads at low-load and saturation
+//     request rates, timing both the dense entry point (full resync every
+//     cycle) and the masked entry point (only changed requests re-noted).
+//   - BENCH_quality.json: quality-harness timings — the matching-quality
+//     sweeps behind the Fig. 5/6 reproductions, serial and parallel.
 //
 // Usage:
 //
-//	benchjson                     # default iteration count, writes BENCH_net.json
-//	benchjson -quick -out -       # single iteration per point, JSON to stdout
+//	benchjson                     # default iteration counts, writes all three files
+//	benchjson -quick -out -       # reduced counts, net JSON to stdout
 //
-// Each benchmark point is a full warmup/measure/drain simulation of the
-// Fig. 13 mesh 2x1x1 design at a drain-dominated low rate and a
-// near-saturation rate, under the active-set scheduler and the dense
-// reference, serial and sharded. Runs are deterministic (seed 42), so
-// ns_per_op is the only field expected to move between revisions.
+// Runs are deterministic (seed 42), so the ns/op fields are the only ones
+// expected to move between revisions.
 package main
 
 import (
@@ -23,12 +30,28 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/alloc"
+	"repro/internal/arbiter"
+	"repro/internal/bitvec"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/quality"
 	"repro/internal/sim"
 )
 
-// point is one timed configuration.
-type point struct {
+// env captures the machine context shared by every report.
+type env struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+}
+
+func newEnv() env {
+	return env{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), GoVersion: runtime.Version()}
+}
+
+// netPoint is one timed network-simulation configuration.
+type netPoint struct {
 	Name           string  `json:"name"`
 	Rate           float64 `json:"rate"`
 	Dense          bool    `json:"dense"`
@@ -40,28 +63,18 @@ type point struct {
 	FlitsDelivered int64   `json:"flits_delivered_per_op"`
 }
 
-type report struct {
-	GoMaxProcs int     `json:"gomaxprocs"`
-	NumCPU     int     `json:"num_cpu"`
-	GoVersion  string  `json:"go_version"`
-	Points     []point `json:"points"`
+type netReport struct {
+	env
+	Points []netPoint `json:"points"`
 }
 
-func main() {
-	out := flag.String("out", "BENCH_net.json", "output file ('-' for stdout)")
-	quick := flag.Bool("quick", false, "one iteration per point (CI smoke)")
-	iters := flag.Int("iters", 3, "iterations per point")
-	flag.Parse()
-	if *quick {
-		*iters = 1
-	}
-
+func netBench(iters int) netReport {
 	pt, err := experiments.PointByName("mesh", 1)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	rep := report{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), GoVersion: runtime.Version()}
+	rep := netReport{env: newEnv()}
 	for _, rate := range []float64{0.05, 0.30} {
 		for _, dense := range []bool{false, true} {
 			for _, shards := range []int{1, 2, 4} {
@@ -73,7 +86,7 @@ func main() {
 				})
 				var cycles, flits int64
 				start := time.Now()
-				for i := 0; i < *iters; i++ {
+				for i := 0; i < iters; i++ {
 					res := sim.New(cfg).Run()
 					if res.FlitsDelivered == 0 {
 						fmt.Fprintf(os.Stderr, "benchjson: no traffic moved at rate %.2f\n", rate)
@@ -87,34 +100,325 @@ func main() {
 				if dense {
 					sched = "dense"
 				}
-				rep.Points = append(rep.Points, point{
+				rep.Points = append(rep.Points, netPoint{
 					Name:           fmt.Sprintf("mesh_2x1x1/rate=%.2f/%s/shards=%d", rate, sched, shards),
 					Rate:           rate,
 					Dense:          dense,
 					Shards:         shards,
-					Iters:          *iters,
-					NsPerOp:        float64(elapsed.Nanoseconds()) / float64(*iters),
-					Cycles:         cycles / int64(*iters),
+					Iters:          iters,
+					NsPerOp:        float64(elapsed.Nanoseconds()) / float64(iters),
+					Cycles:         cycles / int64(iters),
 					CyclesPerSec:   float64(cycles) / elapsed.Seconds(),
-					FlitsDelivered: flits / int64(*iters),
+					FlitsDelivered: flits / int64(iters),
 				})
 			}
 		}
 	}
+	return rep
+}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
+// allocPoint is one timed allocator microbenchmark: `Cycles` Allocate (or
+// AllocateMasked) calls over a synthetic request stream at the given rate.
+type allocPoint struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"` // "vc" or "switch"
+	Rate        float64 `json:"rate"`
+	Churn       float64 `json:"churn"`
+	Masked      bool    `json:"masked"`
+	Cycles      int     `json:"cycles"`
+	NsPerCycle  float64 `json:"ns_per_cycle"`
+	GrantsTotal int64   `json:"grants_total"`
+}
+
+type allocReport struct {
+	env
+	Ports  int          `json:"ports"`
+	VCs    int          `json:"vcs"`
+	Points []allocPoint `json:"points"`
+}
+
+// allocRates are the two tracked operating points: drain-dominated low load
+// and past-saturation dense request matrices.
+var allocRates = []float64{0.05, 0.50}
+
+// allocChurns are the per-cycle request-turnover fractions. 1.0 redraws every
+// entry each cycle (the masked path's worst case: the change set is the whole
+// matrix, so it can only lose by the diff overhead). 0.1 redraws a tenth of
+// the entries, approximating the temporal coherence of real router streams
+// where most VCs hold their request across consecutive cycles — the regime
+// the change-driven entry point exists for.
+var allocChurns = []float64{1.0, 0.1}
+
+// adopt merges a fresh request draw into cur at the churn fraction: entry i
+// is replaced on cycle c iff its deterministic slot comes up. churn 1.0
+// degenerates to a full copy.
+func adopt[T any](cur, fresh []T, c int, churn float64) {
+	if churn >= 1 {
+		copy(cur, fresh)
+		return
+	}
+	period := int(1 / churn)
+	for i := range cur {
+		if (c+i*7)%period == 0 {
+			cur[i] = fresh[i]
+		}
+	}
+}
+
+func allocBench(cycles int) allocReport {
+	const ports = 5 // mesh radix
+	spec := core.NewVCSpec(2, 1, 4)
+	v := spec.V()
+	rep := allocReport{env: newEnv(), Ports: ports, VCs: v}
+
+	vcCfgs := []struct {
+		name string
+		cfg  core.VCAllocConfig
+	}{
+		{"va/sepif_rr", core.VCAllocConfig{Ports: ports, Spec: spec, Arch: alloc.SepIF, ArbKind: arbiter.RoundRobin}},
+		{"va/sepof_rr", core.VCAllocConfig{Ports: ports, Spec: spec, Arch: alloc.SepOF, ArbKind: arbiter.RoundRobin}},
+		{"va/wavefront", core.VCAllocConfig{Ports: ports, Spec: spec, Arch: alloc.Wavefront}},
+		{"va/wavefront_sparse", core.VCAllocConfig{Ports: ports, Spec: spec, Arch: alloc.Wavefront, Sparse: true}},
+		{"va/freequeue_rr", core.VCAllocConfig{Ports: ports, Spec: spec, ArbKind: arbiter.RoundRobin, FreeQueue: true}},
+	}
+	for _, tc := range vcCfgs {
+		for _, rate := range allocRates {
+			for _, churn := range allocChurns {
+				a := core.NewVCAllocator(tc.cfg)
+				masked, canMask := a.(core.MaskedVCAllocator)
+				for _, useMask := range []bool{false, true} {
+					if useMask && !canMask {
+						continue // free-queue allocator has no masked entry point
+					}
+					w := quality.NewVCWorkload(ports, spec, 42)
+					prev := make([]core.VCRequest, ports*v)
+					cur := make([]core.VCRequest, ports*v)
+					changed := bitvec.New(ports * v)
+					a.Reset()
+					// Prime the cache: the masked contract requires one full
+					// sync before incremental updates.
+					copy(cur, w.Next(rate))
+					a.Allocate(cur)
+					copy(prev, cur)
+					var grants int64
+					start := time.Now()
+					for c := 0; c < cycles; c++ {
+						adopt(cur, w.Next(rate), c, churn)
+						var gs []int
+						if useMask {
+							changed.Reset()
+							for i := range cur {
+								if cur[i] != prev[i] {
+									changed.Set(i)
+								}
+							}
+							gs = masked.AllocateMasked(cur, changed)
+						} else {
+							gs = a.Allocate(cur)
+						}
+						for _, g := range gs {
+							if g >= 0 {
+								grants++
+							}
+						}
+						copy(prev, cur)
+					}
+					elapsed := time.Since(start)
+					rep.Points = append(rep.Points, allocPoint{
+						Name:        tc.name,
+						Kind:        "vc",
+						Rate:        rate,
+						Churn:       churn,
+						Masked:      useMask,
+						Cycles:      cycles,
+						NsPerCycle:  float64(elapsed.Nanoseconds()) / float64(cycles),
+						GrantsTotal: grants,
+					})
+				}
+			}
+		}
+	}
+
+	saCfgs := []struct {
+		name string
+		cfg  core.SwitchAllocConfig
+	}{
+		{"sa/sepif_rr_nonspec", core.SwitchAllocConfig{Ports: ports, VCs: v, Arch: alloc.SepIF, ArbKind: arbiter.RoundRobin, SpecMode: core.SpecNone}},
+		{"sa/sepif_rr_specreq", core.SwitchAllocConfig{Ports: ports, VCs: v, Arch: alloc.SepIF, ArbKind: arbiter.RoundRobin, SpecMode: core.SpecReq}},
+		{"sa/sepof_rr_specgnt", core.SwitchAllocConfig{Ports: ports, VCs: v, Arch: alloc.SepOF, ArbKind: arbiter.RoundRobin, SpecMode: core.SpecGnt}},
+		{"sa/wavefront_specreq", core.SwitchAllocConfig{Ports: ports, VCs: v, Arch: alloc.Wavefront, ArbKind: arbiter.RoundRobin, SpecMode: core.SpecReq}},
+	}
+	for _, tc := range saCfgs {
+		for _, rate := range allocRates {
+			for _, churn := range allocChurns {
+				a := core.NewSwitchAllocator(tc.cfg)
+				masked, canMask := a.(core.MaskedSwitchAllocator)
+				for _, useMask := range []bool{false, true} {
+					if useMask && !canMask {
+						continue // the precomputed wrapper has no masked entry point
+					}
+					w := quality.NewSwitchWorkload(ports, v, 42)
+					prev := make([]core.SwitchRequest, ports*v)
+					cur := make([]core.SwitchRequest, ports*v)
+					changed := bitvec.New(ports * v)
+					a.Reset()
+					copy(cur, speculate(w.Next(rate)))
+					a.Allocate(cur)
+					copy(prev, cur)
+					var grants int64
+					start := time.Now()
+					for c := 0; c < cycles; c++ {
+						adopt(cur, speculate(w.Next(rate)), c, churn)
+						var gs []core.SwitchGrant
+						if useMask {
+							changed.Reset()
+							for i := range cur {
+								if cur[i] != prev[i] {
+									changed.Set(i)
+								}
+							}
+							gs = masked.AllocateMasked(cur, changed)
+						} else {
+							gs = a.Allocate(cur)
+						}
+						for _, g := range gs {
+							if g.VC >= 0 {
+								grants++
+							}
+						}
+						copy(prev, cur)
+					}
+					elapsed := time.Since(start)
+					rep.Points = append(rep.Points, allocPoint{
+						Name:        tc.name,
+						Kind:        "switch",
+						Rate:        rate,
+						Churn:       churn,
+						Masked:      useMask,
+						Cycles:      cycles,
+						NsPerCycle:  float64(elapsed.Nanoseconds()) / float64(cycles),
+						GrantsTotal: grants,
+					})
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// speculate deterministically marks every third active request speculative so
+// the SpecGnt/SpecReq sub-allocator and masking stages see real work.
+func speculate(reqs []core.SwitchRequest) []core.SwitchRequest {
+	n := 0
+	for i := range reqs {
+		if reqs[i].Active {
+			reqs[i].Spec = n%3 == 0
+			n++
+		}
+	}
+	return reqs
+}
+
+// qualityPoint is one timed quality-harness sweep.
+type qualityPoint struct {
+	Name       string  `json:"name"`
+	Kind       string  `json:"kind"` // "vc" or "switch"
+	Workers    int     `json:"workers"`
+	Configs    int     `json:"configs"`
+	Rates      int     `json:"rates"`
+	Trials     int     `json:"trials"`
+	NsPerSweep float64 `json:"ns_per_sweep"`
+	MinQuality float64 `json:"min_quality"`
+}
+
+type qualityReport struct {
+	env
+	Points []qualityPoint `json:"points"`
+}
+
+func qualityBench(trials int) qualityReport {
+	const ports = 5
+	spec := core.NewVCSpec(2, 1, 4)
+	rates := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	rep := qualityReport{env: newEnv()}
+
+	vcCfgs := []core.VCAllocConfig{
+		{Ports: ports, Spec: spec, Arch: alloc.SepIF, ArbKind: arbiter.RoundRobin},
+		{Ports: ports, Spec: spec, Arch: alloc.SepOF, ArbKind: arbiter.RoundRobin},
+		{Ports: ports, Spec: spec, Arch: alloc.Wavefront},
+	}
+	saCfgs := []core.SwitchAllocConfig{
+		{Ports: ports, VCs: spec.V(), Arch: alloc.SepIF, ArbKind: arbiter.RoundRobin, SpecMode: core.SpecNone},
+		{Ports: ports, VCs: spec.V(), Arch: alloc.Wavefront, ArbKind: arbiter.RoundRobin, SpecMode: core.SpecNone},
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		start := time.Now()
+		series := quality.VCSeriesMulti(vcCfgs, rates, trials, 42, workers)
+		elapsed := time.Since(start)
+		rep.Points = append(rep.Points, qualityPoint{
+			Name: "quality/vc_sweep", Kind: "vc", Workers: workers,
+			Configs: len(vcCfgs), Rates: len(rates), Trials: trials,
+			NsPerSweep: float64(elapsed.Nanoseconds()), MinQuality: minQuality(series),
+		})
+
+		start = time.Now()
+		series = quality.SwitchSeriesMulti(saCfgs, rates, trials, 42, workers)
+		elapsed = time.Since(start)
+		rep.Points = append(rep.Points, qualityPoint{
+			Name: "quality/switch_sweep", Kind: "switch", Workers: workers,
+			Configs: len(saCfgs), Rates: len(rates), Trials: trials,
+			NsPerSweep: float64(elapsed.Nanoseconds()), MinQuality: minQuality(series),
+		})
+	}
+	return rep
+}
+
+func minQuality(series []quality.Series) float64 {
+	m := 1.0
+	for _, s := range series {
+		if q := s.MinQuality(); q < m {
+			m = q
+		}
+	}
+	return m
+}
+
+func emit(v any, out string) {
+	enc, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %d benchmark points to %s\n", len(rep.Points), *out)
+	fmt.Printf("wrote %s\n", out)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_net.json", "network report output ('-' for stdout)")
+	allocOut := flag.String("allocout", "BENCH_alloc.json", "allocator report output ('-' for stdout, '' to skip)")
+	qualityOut := flag.String("qualityout", "BENCH_quality.json", "quality report output ('-' for stdout, '' to skip)")
+	quick := flag.Bool("quick", false, "reduced iteration/cycle/trial counts per point (CI smoke)")
+	iters := flag.Int("iters", 3, "iterations per network point")
+	allocCycles := flag.Int("alloccycles", 200000, "Allocate calls per allocator point")
+	trials := flag.Int("trials", 2000, "request matrices per quality rate point")
+	flag.Parse()
+	if *quick {
+		*iters, *allocCycles, *trials = 1, 2000, 100
+	}
+
+	emit(netBench(*iters), *out)
+	if *allocOut != "" {
+		emit(allocBench(*allocCycles), *allocOut)
+	}
+	if *qualityOut != "" {
+		emit(qualityBench(*trials), *qualityOut)
+	}
 }

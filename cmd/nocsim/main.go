@@ -34,6 +34,7 @@ func main() {
 	workers := flag.Int("workers", 4, "concurrent simulations per curve")
 	shards := flag.Int("shards", 0, "parallel shards within each simulation (0 = auto: split cores not used by -workers; results are bit-identical for any value)")
 	dense := flag.Bool("dense", false, "step every router every cycle (reference scheduler; slower, bit-identical)")
+	denseRequests := flag.Bool("denserequests", false, "rebuild every VA/switch request every cycle (reference request path; slower, bit-identical)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -49,7 +50,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	scale := experiments.SimScale{Warmup: *warmup, Measure: *measure, Drain: *drain, Seed: *seed, Workers: *workers, Shards: *shards, Dense: *dense}
+	scale := experiments.SimScale{Warmup: *warmup, Measure: *measure, Drain: *drain, Seed: *seed, Workers: *workers, Shards: *shards, Dense: *dense, DenseRequests: *denseRequests}
 	rates := experiments.InjectionRates(pt)
 
 	header := func(format string, args ...any) {

@@ -26,6 +26,7 @@ func main() {
 	workers := flag.Int("workers", 4, "concurrent simulations (or quality rate points) per curve")
 	shards := flag.Int("shards", 0, "parallel shards within each simulation (0 = serial stepping; results are bit-identical for any value)")
 	dense := flag.Bool("dense", false, "step every router every cycle (reference scheduler; slower, bit-identical)")
+	denseRequests := flag.Bool("denserequests", false, "rebuild every VA/switch request every cycle (reference request path; slower, bit-identical)")
 	only := flag.String("only", "", "restrict to one experiment: fig4, fig5, fig6, fig7, fig10, fig11, fig12, fig13, fig14, vasweep, summary")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -45,6 +46,7 @@ func main() {
 	scale.Workers = *workers
 	scale.Shards = *shards
 	scale.Dense = *dense
+	scale.DenseRequests = *denseRequests
 
 	want := func(name string) bool { return *only == "" || *only == name }
 	tech := costmodel.Default45nm()

@@ -42,6 +42,15 @@ type Allocator interface {
 // number of skipped cycles to reproduce the dense stepper bit for bit.
 // Allocators without the method are state-no-ops on empty input and may be
 // skipped unconditionally.
+//
+// SkipIdle composes with the router's cached request vectors: while a
+// router is quiescent its cache may still hold entries that went stale on
+// the final stepped cycle (the pop that drained the last VC), but SkipIdle
+// reads no request state — it only replays the request-independent priority
+// rotation — and the events that staled those entries also set their dirty
+// bits, which persist across the skipped gap. The first Step after wake-up
+// rebuilds every stale entry before any allocator reads the slice, so the
+// allocators observe exactly the request sequence of the dense schedule.
 type IdleSkipper interface {
 	SkipIdle(idleCycles int64)
 }

@@ -103,7 +103,12 @@ func (a *RoundRobinArbiter) Update(winner int) {
 	if winner < 0 || winner >= a.n {
 		panic(fmt.Sprintf("arbiter: winner %d out of range [0,%d)", winner, a.n))
 	}
-	a.ptr = (winner + 1) % a.n
+	// winner+1 <= n after the range check, so a conditional reset beats the
+	// hardware divide a % would cost on this per-grant path.
+	a.ptr = winner + 1
+	if a.ptr == a.n {
+		a.ptr = 0
+	}
 }
 
 // Reset implements Arbiter.
@@ -195,6 +200,7 @@ func (a *MatrixArbiter) Reset() {
 type TreeArbiter struct {
 	groups    int
 	groupSize int
+	size      int // groups * groupSize, cached for the per-Pick width check
 	leaves    []Arbiter
 	root      Arbiter
 
@@ -212,6 +218,7 @@ func NewTree(k Kind, groups, groupSize int) *TreeArbiter {
 	t := &TreeArbiter{
 		groups:    groups,
 		groupSize: groupSize,
+		size:      groups * groupSize,
 		leaves:    make([]Arbiter, groups),
 		root:      New(k, groups),
 		leafReq:   bitvec.New(groupSize),
@@ -224,7 +231,7 @@ func NewTree(k Kind, groups, groupSize int) *TreeArbiter {
 }
 
 // Size implements Arbiter.
-func (t *TreeArbiter) Size() int { return t.groups * t.groupSize }
+func (t *TreeArbiter) Size() int { return t.size }
 
 // Pick implements Arbiter. The winner is the leaf winner of the root-winning
 // group, matching the RTL structure where the root arbiter selects among
@@ -232,6 +239,12 @@ func (t *TreeArbiter) Size() int { return t.groups * t.groupSize }
 func (t *TreeArbiter) Pick(req *bitvec.Vec) int {
 	if req.Len() != t.Size() {
 		panic(fmt.Sprintf("arbiter: request width %d, arbiter width %d", req.Len(), t.Size()))
+	}
+	// Degenerate tree (groupSize 1): the root sees the request vector
+	// unchanged and the width-1 leaves cannot alter the pick, so skip the
+	// per-group gather and its divides entirely.
+	if t.groupSize == 1 {
+		return t.root.Pick(req)
 	}
 	t.rootReq.Reset()
 	// One word scan over the set bits: each hit marks its group and jumps
@@ -257,6 +270,11 @@ func (t *TreeArbiter) Pick(req *bitvec.Vec) int {
 func (t *TreeArbiter) Update(winner int) {
 	if winner < 0 || winner >= t.Size() {
 		panic(fmt.Sprintf("arbiter: winner %d out of range [0,%d)", winner, t.Size()))
+	}
+	if t.groupSize == 1 {
+		t.root.Update(winner)
+		t.leaves[winner].Update(0)
+		return
 	}
 	g := winner / t.groupSize
 	t.root.Update(g)

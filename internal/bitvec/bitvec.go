@@ -44,8 +44,25 @@ func FromBools(b []bool) *Vec {
 // Len returns the number of bits in the vector.
 func (v *Vec) Len() int { return v.n }
 
+// Words exposes the backing word slice for read-only word-at-a-time
+// iteration in hot loops:
+//
+//	for wi, w := range v.Words() {
+//		for base := wi * 64; w != 0; w &= w - 1 {
+//			i := base + bits.TrailingZeros64(w)
+//			...
+//		}
+//	}
+//
+// This visits set bits in the same ascending order as NextSet iteration
+// without re-entering the scan for every bit. Callers must not mutate the
+// returned slice, and must not change v's bits while ranging over a word
+// already loaded into a local (loading w snapshots that word).
+func (v *Vec) Words() []uint64 { return v.words }
+
 func (v *Vec) check(i int) {
-	if i < 0 || i >= v.n {
+	// Single unsigned compare: a negative index wraps to a huge uint.
+	if uint(i) >= uint(v.n) {
 		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
 	}
 }
@@ -53,19 +70,19 @@ func (v *Vec) check(i int) {
 // Get reports whether bit i is set.
 func (v *Vec) Get(i int) bool {
 	v.check(i)
-	return v.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+	return v.words[uint(i)/wordBits]&(1<<(uint(i)%wordBits)) != 0
 }
 
 // Set sets bit i.
 func (v *Vec) Set(i int) {
 	v.check(i)
-	v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+	v.words[uint(i)/wordBits] |= 1 << (uint(i) % wordBits)
 }
 
 // Clear clears bit i.
 func (v *Vec) Clear(i int) {
 	v.check(i)
-	v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+	v.words[uint(i)/wordBits] &^= 1 << (uint(i) % wordBits)
 }
 
 // SetTo sets bit i to b.
@@ -126,7 +143,7 @@ func (v *Vec) NextSet(i int) int {
 	if i >= v.n {
 		return -1
 	}
-	wi := i / wordBits
+	wi := int(uint(i) / wordBits)
 	if w := v.words[wi] >> (uint(i) % wordBits); w != 0 {
 		return i + bits.TrailingZeros64(w)
 	}

@@ -94,6 +94,12 @@ func (a *freeQueueVCAllocator) qIndex(port, class int) int { return port*a.spec.
 
 // noteFreed re-enqueues VCs the router reports as candidates but which the
 // allocator had handed out earlier: their packets released them.
+//
+// Unlike the simulator's flit/packet pools, these free lists need no trim
+// policy: the inQ dedup bit admits each VC to its queue at most once, so a
+// queue holds at most the VCsPerClass ids it was built with and never grows
+// past its initial backing array. The append below therefore never
+// reallocates; the length check enforces the invariant.
 func (a *freeQueueVCAllocator) noteFreed(reqs []VCRequest) {
 	for _, r := range reqs {
 		if !r.Active || r.Candidates == nil {
@@ -106,6 +112,9 @@ func (a *freeQueueVCAllocator) noteFreed(reqs []VCRequest) {
 				cls := a.spec.ClassOf(c)
 				qi := a.qIndex(r.OutPort, cls)
 				a.queues[qi] = append(a.queues[qi], c)
+				if len(a.queues[qi]) > a.spec.VCsPerClass {
+					panic("core: free-VC queue overflow (duplicate enqueue)")
+				}
 			}
 		})
 	}

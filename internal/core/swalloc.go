@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/alloc"
 	"repro/internal/arbiter"
@@ -110,6 +111,14 @@ type SwitchAllocator interface {
 	// indexed by global input VC p·V+v and must have length P·V. The
 	// result, indexed by input port, is owned by the allocator and valid
 	// until the next call.
+	//
+	// Request-slice contract: reqs is a read-only input owned by the
+	// caller, who may reuse the same backing array — with only changed
+	// entries rewritten — on every call (the router's change-driven
+	// request cache does exactly that). Implementations must not mutate it
+	// and must not retain it past the call's return; cross-cycle state
+	// must be copied by value, as the precomputed allocator's request
+	// latch does.
 	Allocate(reqs []SwitchRequest) []SwitchGrant
 	// Reset restores initial arbitration state and clears Stats.
 	Reset()
@@ -117,6 +126,19 @@ type SwitchAllocator interface {
 	Name() string
 	// Stats reports speculation outcome counters.
 	Stats() SwitchAllocStats
+}
+
+// MaskedSwitchAllocator is implemented by switch allocators that cache
+// derived request state across cycles. AllocateMasked behaves exactly like
+// Allocate, but the caller additionally passes the set of request indices
+// whose entries it rewrote since the previous call (Allocate or
+// AllocateMasked); the allocator refreshes only the cached state derived
+// from those entries. The two entry points may be mixed freely — a plain
+// Allocate call resynchronizes the cache from the full slice. Grants are
+// bit-identical either way.
+type MaskedSwitchAllocator interface {
+	SwitchAllocator
+	AllocateMasked(reqs []SwitchRequest, changed *bitvec.Vec) []SwitchGrant
 }
 
 // NewSwitchAllocator builds a switch allocator.
@@ -137,16 +159,21 @@ func NewSwitchAllocator(cfg SwitchAllocConfig) SwitchAllocator {
 	a := &switchAllocator{
 		cfg:      cfg,
 		name:     name,
-		nonspec:  newSwEngine(cfg),
+		nonspec:  newSwEngine(cfg, false),
 		grants:   make([]SwitchGrant, cfg.Ports),
-		nsReqIn:  bitvec.New(cfg.Ports),
-		nsReqOut: bitvec.New(cfg.Ports),
 		nsGntIn:  bitvec.New(cfg.Ports),
 		nsGntOut: bitvec.New(cfg.Ports),
 		accepted: make([]bool, cfg.Ports),
+		prev:     make([]SwitchRequest, cfg.Ports*cfg.VCs),
+		portOf:   make([]int32, cfg.Ports*cfg.VCs),
+		vcOf:     make([]int32, cfg.Ports*cfg.VCs),
+	}
+	for i := range a.portOf {
+		a.portOf[i] = int32(i / cfg.VCs)
+		a.vcOf[i] = int32(i % cfg.VCs)
 	}
 	if cfg.SpecMode != SpecNone {
-		a.spec = newSwEngine(cfg)
+		a.spec = newSwEngine(cfg, true)
 	}
 	return a
 }
@@ -158,14 +185,20 @@ type switchAllocator struct {
 	spec    *swEngine // nil when SpecNone
 	grants  []SwitchGrant
 
-	// Conflict-summary vectors corresponding to the reduction networks in
-	// Fig. 9: per-input-port and per-output-port presence of
-	// non-speculative requests (pessimistic scheme) or grants
-	// (conventional scheme).
-	nsReqIn, nsReqOut *bitvec.Vec
+	// Grant conflict-summary vectors for the conventional masking scheme
+	// (Fig. 9a). The pessimistic scheme's per-port request summaries
+	// (Fig. 9b) come from the nonspec engine's cached request state.
 	nsGntIn, nsGntOut *bitvec.Vec
 	accepted          []bool
-	stats             SwitchAllocStats
+	// prev holds the last-seen value of every request entry, so an
+	// incremental resync can subtract the old entry's contribution from the
+	// engines' cached counts before adding the new one. portOf/vcOf decode
+	// a request index without the divides the hot resync path would
+	// otherwise pay once per engine.
+	prev   []SwitchRequest
+	portOf []int32
+	vcOf   []int32
+	stats  SwitchAllocStats
 }
 
 func (a *switchAllocator) Ports() int   { return a.cfg.Ports }
@@ -202,41 +235,92 @@ func (a *switchAllocator) Allocate(reqs []SwitchRequest) []SwitchGrant {
 	if len(reqs) != p*v {
 		panic(fmt.Sprintf("core: %d switch requests, want %d", len(reqs), p*v))
 	}
+	for i := range reqs {
+		a.note(i, reqs[i])
+	}
+	return a.run(reqs)
+}
+
+// AllocateMasked implements MaskedSwitchAllocator.
+func (a *switchAllocator) AllocateMasked(reqs []SwitchRequest, changed *bitvec.Vec) []SwitchGrant {
+	p, v := a.cfg.Ports, a.cfg.VCs
+	if len(reqs) != p*v {
+		panic(fmt.Sprintf("core: %d switch requests, want %d", len(reqs), p*v))
+	}
+	for wi, w := range changed.Words() {
+		for base := wi * 64; w != 0; w &= w - 1 {
+			i := base + bits.TrailingZeros64(w)
+			a.note(i, reqs[i])
+		}
+	}
+	return a.run(reqs)
+}
+
+// note folds one (possibly unchanged) request entry into the engines'
+// cached request state.
+func (a *switchAllocator) note(i int, nw SwitchRequest) {
+	old := a.prev[i]
+	if old == nw {
+		return
+	}
+	port, vc := int(a.portOf[i]), int(a.vcOf[i])
+	a.nonspec.noteChange(port, vc, old, nw)
+	if a.spec != nil {
+		a.spec.noteChange(port, vc, old, nw)
+	}
+	a.prev[i] = nw
+}
+
+// run performs one allocation cycle from the engines' cached request state,
+// which note has already synchronized with reqs.
+func (a *switchAllocator) run(reqs []SwitchRequest) []SwitchGrant {
+	// Scan-and-clear: grants are sparse (at most one per input port, and
+	// most ports grant nothing on most cycles), so skipping the store for
+	// entries already at the no-grant value beats rewriting all of them.
+	// The zero value's OutPort is 0, so first use also clears correctly.
 	for i := range a.grants {
-		a.grants[i] = SwitchGrant{VC: -1, OutPort: -1}
+		if a.grants[i].OutPort >= 0 {
+			a.grants[i] = SwitchGrant{VC: -1, OutPort: -1}
+		}
 	}
 
 	// Non-speculative sub-allocator.
-	nsProps := a.nonspec.propose(reqs, false)
-	a.nsReqIn.Reset()
-	a.nsReqOut.Reset()
-	a.nsGntIn.Reset()
-	a.nsGntOut.Reset()
-	for port := 0; port < p; port++ {
-		for vc := 0; vc < v; vc++ {
-			r := reqs[port*v+vc]
-			if r.Active && !r.Spec {
-				a.nsReqIn.Set(port)
-				a.nsReqOut.Set(r.OutPort)
+	nsProps := a.nonspec.propose(reqs)
+	if a.spec == nil {
+		for port, prop := range nsProps {
+			a.accepted[port] = prop.outPort >= 0
+			if prop.outPort >= 0 {
+				a.grants[port] = SwitchGrant{VC: prop.vc, OutPort: prop.outPort}
 			}
 		}
+		a.nonspec.commit(a.accepted)
+		return a.grants
+	}
+	// The nsGnt vectors feed only the SpecGnt mask; SpecReq reads the
+	// nonspec engine's cached request summaries instead, so skip their
+	// per-cycle maintenance there.
+	gnt := a.cfg.SpecMode == SpecGnt
+	if gnt {
+		a.nsGntIn.Reset()
+		a.nsGntOut.Reset()
 	}
 	for port, prop := range nsProps {
 		a.accepted[port] = prop.outPort >= 0
 		if prop.outPort >= 0 {
 			a.grants[port] = SwitchGrant{VC: prop.vc, OutPort: prop.outPort}
-			a.nsGntIn.Set(port)
-			a.nsGntOut.Set(prop.outPort)
+			if gnt {
+				a.nsGntIn.Set(port)
+				a.nsGntOut.Set(prop.outPort)
+			}
 		}
 	}
 	a.nonspec.commit(a.accepted)
 
-	if a.spec == nil {
-		return a.grants
-	}
-
-	// Speculative sub-allocator plus masking (Fig. 9).
-	spProps := a.spec.propose(reqs, true)
+	// Speculative sub-allocator plus masking (Fig. 9). The pessimistic
+	// scheme's request summaries are read straight off the nonspec engine's
+	// cache: portAny is the per-input-port request OR and outTot[o] > 0 the
+	// per-output-port one.
+	spProps := a.spec.propose(reqs)
 	for port, prop := range spProps {
 		ok := prop.outPort >= 0
 		if ok {
@@ -245,7 +329,7 @@ func (a *switchAllocator) Allocate(reqs []SwitchRequest) []SwitchGrant {
 			case SpecGnt:
 				ok = !a.nsGntIn.Get(port) && !a.nsGntOut.Get(prop.outPort)
 			case SpecReq:
-				ok = !a.nsReqIn.Get(port) && !a.nsReqOut.Get(prop.outPort)
+				ok = !a.nonspec.portAny.Get(port) && a.nonspec.outTot[prop.outPort] == 0
 			}
 			if !ok {
 				a.stats.SpecMasked++
@@ -271,56 +355,131 @@ type swProposal struct {
 // the speculative or the non-speculative request class. Priority state only
 // advances on commit, so masked speculative grants do not consume fairness
 // slots.
+//
+// The engine keeps derived request state cached across cycles — per-port VC
+// masks, per-(input, output) request counts and the port-request matrix —
+// maintained incrementally by noteChange, so a propose pass touches only
+// ports that actually hold requests and never rescans the request slice.
 type swEngine struct {
 	cfg    SwitchAllocConfig
+	spec   bool              // which request class this engine serves
 	vcArb  []arbiter.Arbiter // per input port, V wide
 	outArb []arbiter.Arbiter // per output port, P wide (separable archs)
 	wf     alloc.Allocator   // wavefront port allocator
 
+	// Cached request state, synchronized by noteChange.
+	reqMask []*bitvec.Vec  // per input port, V wide: VCs with matching requests
+	portAny *bitvec.Vec    // P wide: input ports with any matching request
+	cnt     []int32        // P·P: matching requests per (input port, output port)
+	outTot  []int32        // per output port: total matching requests
+	count   int            // total matching requests
+	portReq *bitvec.Matrix // P×P port-request matrix (wavefront/maximum)
+	colReq  []*bitvec.Vec  // per output port, P wide: requesting inputs (sep_of)
+
 	props   []swProposal
-	vcReq   *bitvec.Vec // V wide
-	portReq *bitvec.Matrix
-	fwd     []*bitvec.Vec // per output port, P wide
-	offered []*bitvec.Vec // per input port, P wide (sep_of)
+	vcReq   *bitvec.Vec   // V wide scratch
+	fwd     []*bitvec.Vec // per output port, P wide (sep_if stage 2)
+	fwdAny  *bitvec.Vec   // output ports with a forwarded pick (sep_if)
+	offered []*bitvec.Vec // per input port, P wide (sep_of stage 2)
+	offAny  *bitvec.Vec   // input ports with at least one offer (sep_of)
 	picks   []int         // per input port, VC pick (sep_if)
-	col     *bitvec.Vec   // P wide (sep_of stage 1)
 }
 
-func newSwEngine(cfg SwitchAllocConfig) *swEngine {
+func newSwEngine(cfg SwitchAllocConfig, spec bool) *swEngine {
 	p, v := cfg.Ports, cfg.VCs
 	e := &swEngine{
 		cfg:     cfg,
+		spec:    spec,
 		vcArb:   make([]arbiter.Arbiter, p),
+		reqMask: make([]*bitvec.Vec, p),
+		portAny: bitvec.New(p),
+		cnt:     make([]int32, p*p),
+		outTot:  make([]int32, p),
 		props:   make([]swProposal, p),
 		vcReq:   bitvec.New(v),
-		portReq: bitvec.NewMatrix(p, p),
 		picks:   make([]int, p),
-		col:     bitvec.New(p),
 	}
 	for i := range e.vcArb {
 		e.vcArb[i] = arbiter.New(cfg.ArbKind, v)
+		e.reqMask[i] = bitvec.New(v)
 	}
 	switch cfg.Arch {
-	case alloc.SepIF, alloc.SepOF:
+	case alloc.SepIF:
 		e.outArb = make([]arbiter.Arbiter, p)
 		e.fwd = make([]*bitvec.Vec, p)
-		e.offered = make([]*bitvec.Vec, p)
+		e.fwdAny = bitvec.New(p)
 		for i := 0; i < p; i++ {
 			e.outArb[i] = arbiter.New(cfg.ArbKind, p)
 			e.fwd[i] = bitvec.New(p)
+		}
+	case alloc.SepOF:
+		e.outArb = make([]arbiter.Arbiter, p)
+		e.offered = make([]*bitvec.Vec, p)
+		e.offAny = bitvec.New(p)
+		e.colReq = make([]*bitvec.Vec, p)
+		for i := 0; i < p; i++ {
+			e.outArb[i] = arbiter.New(cfg.ArbKind, p)
 			e.offered[i] = bitvec.New(p)
+			e.colReq[i] = bitvec.New(p)
 		}
 	case alloc.Wavefront:
 		e.wf = alloc.NewWavefront(p, p)
+		e.portReq = bitvec.NewMatrix(p, p)
 	case alloc.Maximum:
 		// Upper-bound configuration (§2.3): a maximum-size port matching
 		// with the wavefront datapath's VC pre-selection. Not realizable as
 		// single-cycle hardware; used to bound achievable performance.
 		e.wf = alloc.NewMaximum(p, p)
+		e.portReq = bitvec.NewMatrix(p, p)
 	default:
 		panic(fmt.Sprintf("core: unsupported switch allocator arch %v", cfg.Arch))
 	}
 	return e
+}
+
+// noteChange updates the cached request state for request entry (port, vc),
+// whose value changed from old to nw since the previous allocation cycle.
+func (e *swEngine) noteChange(port, vc int, old, nw SwitchRequest) {
+	om, nm := matches(old, e.spec), matches(nw, e.spec)
+	if om == nm && (!om || old.OutPort == nw.OutPort) {
+		return
+	}
+	p := e.cfg.Ports
+	if om {
+		e.count--
+		e.outTot[old.OutPort]--
+		c := &e.cnt[port*p+old.OutPort]
+		if *c--; *c == 0 {
+			if e.portReq != nil {
+				e.portReq.Row(port).Clear(old.OutPort)
+			}
+			if e.colReq != nil {
+				e.colReq[old.OutPort].Clear(port)
+			}
+		}
+	}
+	if nm {
+		e.count++
+		e.outTot[nw.OutPort]++
+		c := &e.cnt[port*p+nw.OutPort]
+		if *c++; *c == 1 {
+			if e.portReq != nil {
+				e.portReq.Row(port).Set(nw.OutPort)
+			}
+			if e.colReq != nil {
+				e.colReq[nw.OutPort].Set(port)
+			}
+		}
+	}
+	if nm {
+		e.reqMask[port].Set(vc)
+		e.portAny.Set(port)
+	} else {
+		e.reqMask[port].Clear(vc)
+		if !e.reqMask[port].Any() {
+			e.portAny.Clear(port)
+		}
+	}
 }
 
 func (e *swEngine) reset() {
@@ -338,93 +497,103 @@ func (e *swEngine) reset() {
 // matches reports whether request r belongs to this proposal pass.
 func matches(r SwitchRequest, spec bool) bool { return r.Active && r.Spec == spec }
 
-// propose computes tentative grants for the given request class without
+// propose computes tentative grants for this engine's request class without
 // advancing any priority state.
-func (e *swEngine) propose(reqs []SwitchRequest, spec bool) []swProposal {
+func (e *swEngine) propose(reqs []SwitchRequest) []swProposal {
+	// Scan-and-clear (see switchAllocator.run): only entries a previous
+	// pass proposed into need restoring to the no-proposal value.
 	for i := range e.props {
-		e.props[i] = swProposal{vc: -1, outPort: -1}
+		if e.props[i].outPort >= 0 {
+			e.props[i] = swProposal{vc: -1, outPort: -1}
+		}
+	}
+	if e.count == 0 {
+		// No matching requests: separable arbiters are untouched by an empty
+		// pass, but the wavefront block still rotates its priority diagonal
+		// (see SkipIdle), so it must run even on an empty matrix.
+		if e.wf != nil {
+			e.wf.Allocate(e.portReq)
+		}
+		return e.props
 	}
 	switch e.cfg.Arch {
 	case alloc.SepIF:
-		e.proposeSepIF(reqs, spec)
+		e.proposeSepIF(reqs)
 	case alloc.SepOF:
-		e.proposeSepOF(reqs, spec)
+		e.proposeSepOF(reqs)
 	case alloc.Wavefront, alloc.Maximum:
-		e.proposeWavefront(reqs, spec)
+		e.proposeWavefront(reqs)
 	}
 	return e.props
 }
 
 // proposeSepIF implements Fig. 8(a): a V-input arbiter per input port picks
 // the winning VC, whose single request is forwarded to a P-input arbiter at
-// the output port.
-func (e *swEngine) proposeSepIF(reqs []SwitchRequest, spec bool) {
-	p, v := e.cfg.Ports, e.cfg.VCs
-	for o := 0; o < p; o++ {
-		e.fwd[o].Reset()
+// the output port. Only ports in portAny run stage 1, and only outputs that
+// received a forwarded pick run stage 2; picks of ports that did not forward
+// this cycle are stale and never read.
+func (e *swEngine) proposeSepIF(reqs []SwitchRequest) {
+	v := e.cfg.VCs
+	// P <= 64 in practice, but iterate word-at-a-time generically; none of
+	// the loop bodies mutate the vector word they are scanning (stage 1
+	// sets fwdAny only after it was reset, and stage 2 only reads it).
+	for wi, w := range e.fwdAny.Words() {
+		for base := wi * 64; w != 0; w &= w - 1 {
+			e.fwd[base+bits.TrailingZeros64(w)].Reset()
+		}
 	}
-	for port := 0; port < p; port++ {
-		e.picks[port] = -1
-		e.vcReq.Reset()
-		for vc := 0; vc < v; vc++ {
-			if matches(reqs[port*v+vc], spec) {
-				e.vcReq.Set(vc)
+	e.fwdAny.Reset()
+	for wi, w := range e.portAny.Words() {
+		for base := wi * 64; w != 0; w &= w - 1 {
+			port := base + bits.TrailingZeros64(w)
+			pk := e.vcArb[port].Pick(e.reqMask[port])
+			if pk < 0 {
+				continue
 			}
+			e.picks[port] = pk
+			o := reqs[port*v+pk].OutPort
+			e.fwd[o].Set(port)
+			e.fwdAny.Set(o)
 		}
-		w := e.vcArb[port].Pick(e.vcReq)
-		if w < 0 {
-			continue
-		}
-		e.picks[port] = w
-		e.fwd[reqs[port*v+w].OutPort].Set(port)
 	}
-	for o := 0; o < p; o++ {
-		if !e.fwd[o].Any() {
-			continue
+	for wi, w := range e.fwdAny.Words() {
+		for base := wi * 64; w != 0; w &= w - 1 {
+			o := base + bits.TrailingZeros64(w)
+			winner := e.outArb[o].Pick(e.fwd[o])
+			if winner < 0 {
+				continue
+			}
+			e.props[winner] = swProposal{vc: e.picks[winner], outPort: o}
 		}
-		winner := e.outArb[o].Pick(e.fwd[o])
-		if winner < 0 {
-			continue
-		}
-		e.props[winner] = swProposal{vc: e.picks[winner], outPort: o}
 	}
 }
 
 // proposeSepOF implements Fig. 8(b): requests from all VCs are combined and
 // forwarded; each output port picks an input port, then each input port
 // arbitrates among its VCs that can use one of the granted outputs.
-func (e *swEngine) proposeSepOF(reqs []SwitchRequest, spec bool) {
+func (e *swEngine) proposeSepOF(reqs []SwitchRequest) {
 	p, v := e.cfg.Ports, e.cfg.VCs
-	e.buildPortMatrix(reqs, spec)
-	for port := 0; port < p; port++ {
+	for port := e.offAny.NextSet(0); port >= 0; port = e.offAny.NextSet(port + 1) {
 		e.offered[port].Reset()
 	}
+	e.offAny.Reset()
 	for o := 0; o < p; o++ {
-		e.col.Reset()
-		for port := 0; port < p; port++ {
-			if e.portReq.Get(port, o) {
-				e.col.Set(port)
-			}
-		}
-		if !e.col.Any() {
+		if e.outTot[o] == 0 {
 			continue
 		}
-		winner := e.outArb[o].Pick(e.col)
+		winner := e.outArb[o].Pick(e.colReq[o])
 		if winner < 0 {
 			continue
 		}
 		e.offered[winner].Set(o)
+		e.offAny.Set(winner)
 	}
-	for port := 0; port < p; port++ {
-		if !e.offered[port].Any() {
-			continue
-		}
+	for port := e.offAny.NextSet(0); port >= 0; port = e.offAny.NextSet(port + 1) {
 		// VC arbitration among VCs whose requested output was offered; the
 		// winning VC's port select drives the crossbar (Fig. 8b).
 		e.vcReq.Reset()
-		for vc := 0; vc < v; vc++ {
-			r := reqs[port*v+vc]
-			if matches(r, spec) && e.offered[port].Get(r.OutPort) {
+		for vc := e.reqMask[port].NextSet(0); vc >= 0; vc = e.reqMask[port].NextSet(vc + 1) {
+			if e.offered[port].Get(reqs[port*v+vc].OutPort) {
 				e.vcReq.Set(vc)
 			}
 		}
@@ -437,22 +606,20 @@ func (e *swEngine) proposeSepOF(reqs []SwitchRequest, spec bool) {
 }
 
 // proposeWavefront implements Fig. 8(c): a P×P wavefront block over the
-// combined port-request matrix, with per-input V-input arbiters selecting
-// the winning VC for the granted output.
-func (e *swEngine) proposeWavefront(reqs []SwitchRequest, spec bool) {
-	p, v := e.cfg.Ports, e.cfg.VCs
-	e.buildPortMatrix(reqs, spec)
+// cached port-request matrix, with per-input V-input arbiters selecting the
+// winning VC for the granted output.
+func (e *swEngine) proposeWavefront(reqs []SwitchRequest) {
+	v := e.cfg.VCs
 	g := e.wf.Allocate(e.portReq)
-	for port := 0; port < p; port++ {
-		o := -1
-		g.Row(port).ForEach(func(j int) { o = j })
+	// Grants are a subset of requests, so only ports in portAny can hold one.
+	for port := e.portAny.NextSet(0); port >= 0; port = e.portAny.NextSet(port + 1) {
+		o := g.Row(port).NextSet(0)
 		if o < 0 {
 			continue
 		}
 		e.vcReq.Reset()
-		for vc := 0; vc < v; vc++ {
-			r := reqs[port*v+vc]
-			if matches(r, spec) && r.OutPort == o {
+		for vc := e.reqMask[port].NextSet(0); vc >= 0; vc = e.reqMask[port].NextSet(vc + 1) {
+			if reqs[port*v+vc].OutPort == o {
 				e.vcReq.Set(vc)
 			}
 		}
@@ -461,19 +628,6 @@ func (e *swEngine) proposeWavefront(reqs []SwitchRequest, spec bool) {
 			continue
 		}
 		e.props[port] = swProposal{vc: w, outPort: o}
-	}
-}
-
-func (e *swEngine) buildPortMatrix(reqs []SwitchRequest, spec bool) {
-	p, v := e.cfg.Ports, e.cfg.VCs
-	e.portReq.Reset()
-	for port := 0; port < p; port++ {
-		for vc := 0; vc < v; vc++ {
-			r := reqs[port*v+vc]
-			if matches(r, spec) {
-				e.portReq.Set(port, r.OutPort)
-			}
-		}
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/alloc"
 	"repro/internal/arbiter"
@@ -35,12 +36,32 @@ type VCAllocator interface {
 	// also indexed by global input VC, holds the granted global output VC
 	// (o·V+v') or -1; it is owned by the allocator and valid until the next
 	// call.
+	//
+	// Request-slice contract: reqs and the Candidates vectors it points to
+	// are read-only inputs owned by the caller, who may reuse the same
+	// backing storage — with only changed entries rewritten — on every
+	// call (the router's change-driven request cache does exactly that).
+	// Implementations must not mutate them and must not retain references
+	// past the call's return; any cross-cycle state they keep must be
+	// derived by value, as the free-queue allocator's noteFreed does.
 	Allocate(reqs []VCRequest) []int
 	// Reset restores initial arbitration state.
 	Reset()
 	// Name returns the paper-style identifier, e.g. "sep_if/rr" or
 	// "wf/rr (sparse)".
 	Name() string
+}
+
+// MaskedVCAllocator is implemented by VC allocators that cache derived
+// request state across cycles. AllocateMasked behaves exactly like Allocate,
+// but the caller additionally passes the set of request indices whose entries
+// it rewrote since the previous call (Allocate or AllocateMasked); the
+// allocator refreshes only the cached state derived from those entries. The
+// two entry points may be mixed freely — a plain Allocate call resynchronizes
+// the cache from the full slice. Grants are bit-identical either way.
+type MaskedVCAllocator interface {
+	VCAllocator
+	AllocateMasked(reqs []VCRequest, changed *bitvec.Vec) []int
 }
 
 // VCAllocConfig parameterizes VC allocator construction.
@@ -84,9 +105,10 @@ func NewVCAllocator(cfg VCAllocConfig) VCAllocator {
 		name += "/rr"
 	}
 	a := &vcAllocator{
-		ports: cfg.Ports,
-		v:     v,
-		name:  name,
+		ports:  cfg.Ports,
+		v:      v,
+		name:   name,
+		active: bitvec.New(cfg.Ports * v),
 	}
 	if cfg.Sparse {
 		a.name += " (sparse)"
@@ -109,6 +131,12 @@ type vcAllocator struct {
 	name     string
 	engines  []*vcEngine
 	grants   []int
+
+	// active caches which request indices carry an issuable request
+	// (Active with a candidate vector). It is resynchronized from the full
+	// slice on Allocate and from only the changed entries on AllocateMasked;
+	// the engines iterate its set bits instead of scanning all P·V entries.
+	active *bitvec.Vec
 }
 
 func (a *vcAllocator) Ports() int   { return a.ports }
@@ -137,11 +165,44 @@ func (a *vcAllocator) Allocate(reqs []VCRequest) []int {
 	if len(reqs) != a.ports*a.v {
 		panic(fmt.Sprintf("core: %d VC requests, want %d", len(reqs), a.ports*a.v))
 	}
-	for i := range a.grants {
-		a.grants[i] = -1
+	for i, r := range reqs {
+		a.noteRequest(i, r)
+	}
+	return a.run(reqs)
+}
+
+// AllocateMasked implements MaskedVCAllocator.
+func (a *vcAllocator) AllocateMasked(reqs []VCRequest, changed *bitvec.Vec) []int {
+	if len(reqs) != a.ports*a.v {
+		panic(fmt.Sprintf("core: %d VC requests, want %d", len(reqs), a.ports*a.v))
+	}
+	for wi, w := range changed.Words() {
+		for base := wi * 64; w != 0; w &= w - 1 {
+			i := base + bits.TrailingZeros64(w)
+			a.noteRequest(i, reqs[i])
+		}
+	}
+	return a.run(reqs)
+}
+
+func (a *vcAllocator) noteRequest(i int, r VCRequest) {
+	if r.Active && r.Candidates != nil {
+		a.active.Set(i)
+	} else {
+		a.active.Clear(i)
+	}
+}
+
+func (a *vcAllocator) run(reqs []VCRequest) []int {
+	// Scan-and-clear: grants are sparse, so skip the store for entries
+	// already at -1. The zero value is >= 0, so first use also clears.
+	for i, g := range a.grants {
+		if g >= 0 {
+			a.grants[i] = -1
+		}
 	}
 	for _, e := range a.engines {
-		e.allocate(reqs, a.grants)
+		e.allocate(reqs, a.grants, a.active)
 	}
 	return a.grants
 }
@@ -167,6 +228,15 @@ type vcEngine struct {
 	wf    alloc.Allocator
 	wfReq *bitvec.Matrix
 
+	// Index tables hoisting the divides out of the per-request allocate
+	// loops: liOf maps a global request index gi to this engine's local
+	// index p·w + (vc-off), or -1 when gi's VC falls outside the window;
+	// gIdx inverts it, mapping a local input or output index back to the
+	// global VC index (port·V + off + local%w) used by the request and
+	// grant slices.
+	liOf []int32 // ports·V wide
+	gIdx []int32 // p·w wide
+
 	// Scratch.
 	cand    *bitvec.Vec   // w wide
 	bids    []*bitvec.Vec // per output VC in range, P·w wide (sep_if stage 2)
@@ -182,6 +252,16 @@ type vcEngine struct {
 func newVCEngine(cfg VCAllocConfig, off, w int) *vcEngine {
 	p := cfg.Ports
 	e := &vcEngine{cfg: cfg, off: off, w: w, arch: cfg.Arch}
+	// outTree builds a P·w-input output-side arbiter. A tree with
+	// single-input leaves degenerates to its root (the leaves can neither
+	// change a pick nor hold meaningful priority state), so build the flat
+	// root arbiter directly and skip a dispatch level on every pick.
+	outTree := func() arbiter.Arbiter {
+		if w == 1 {
+			return arbiter.New(cfg.ArbKind, p)
+		}
+		return arbiter.NewTree(cfg.ArbKind, p, w)
+	}
 	switch cfg.Arch {
 	case alloc.SepIF:
 		e.inArb = make([]arbiter.Arbiter, p*w)
@@ -191,7 +271,7 @@ func newVCEngine(cfg VCAllocConfig, off, w int) *vcEngine {
 		e.bidVC = make([]int, p*w)
 		for i := range e.inArb {
 			e.inArb[i] = arbiter.New(cfg.ArbKind, w)
-			e.outArb[i] = arbiter.NewTree(cfg.ArbKind, p, w)
+			e.outArb[i] = outTree()
 			e.bids[i] = bitvec.New(p * w)
 		}
 	case alloc.SepOF:
@@ -203,7 +283,7 @@ func newVCEngine(cfg VCAllocConfig, off, w int) *vcEngine {
 		e.outAny = bitvec.New(p * w)
 		for i := range e.inArb {
 			e.inArb[i] = arbiter.New(cfg.ArbKind, w)
-			e.outArb[i] = arbiter.NewTree(cfg.ArbKind, p, w)
+			e.outArb[i] = outTree()
 			e.offers[i] = bitvec.New(w)
 			e.reqTo[i] = bitvec.New(p * w)
 		}
@@ -213,6 +293,18 @@ func newVCEngine(cfg VCAllocConfig, off, w int) *vcEngine {
 		e.wfRows = bitvec.New(p * w)
 	default:
 		panic(fmt.Sprintf("core: unsupported VC allocator arch %v", cfg.Arch))
+	}
+	v := cfg.Spec.V()
+	e.liOf = make([]int32, p*v)
+	for gi := range e.liOf {
+		e.liOf[gi] = -1
+		if vc := gi % v; e.inRange(vc) {
+			e.liOf[gi] = int32(e.local(gi/v, vc))
+		}
+	}
+	e.gIdx = make([]int32, p*w)
+	for l := range e.gIdx {
+		e.gIdx[l] = int32((l/w)*v + off + l%w)
 	}
 	e.cand = bitvec.New(w)
 	return e
@@ -230,27 +322,42 @@ func (e *vcEngine) reset() {
 	}
 }
 
-// inRange reports whether the request's candidates intersect this engine's
-// VC range, loading the compact candidate vector into e.cand.
-func (e *vcEngine) loadCandidates(r VCRequest) bool {
-	if !r.Active || r.Candidates == nil {
-		return false
+// candFor returns the engine-range candidate vector for an active request r,
+// or nil when no candidate falls in range. An engine covering the full VC
+// range reads the request's own (caller-owned, read-only) vector in place;
+// sparse sub-engines extract their window into the e.cand scratch vector.
+func (e *vcEngine) candFor(r VCRequest) *bitvec.Vec {
+	if e.off == 0 && e.w == e.cfg.Spec.V() {
+		if !r.Candidates.Any() {
+			return nil
+		}
+		return r.Candidates
 	}
-	return e.cand.SliceFrom(r.Candidates, e.off)
+	if !e.cand.SliceFrom(r.Candidates, e.off) {
+		return nil
+	}
+	return e.cand
 }
+
+// inRange reports whether global VC index vc falls in this engine's window.
+func (e *vcEngine) inRange(vc int) bool { return vc >= e.off && vc < e.off+e.w }
 
 // local index helpers: engine-local input/output VC index is p·w + (v-off).
 func (e *vcEngine) local(p, v int) int      { return p*e.w + (v - e.off) }
 func (e *vcEngine) global(l int) (p, v int) { return l / e.w, e.off + l%e.w }
 
-func (e *vcEngine) allocate(reqs []VCRequest, grants []int) {
+// allocate computes this engine's share of the matching. act marks the
+// request indices that are Active with a candidate vector; the engine visits
+// only those (ascending, the same order as a full scan), so a mostly-idle
+// request slice costs proportionally little.
+func (e *vcEngine) allocate(reqs []VCRequest, grants []int, act *bitvec.Vec) {
 	switch e.arch {
 	case alloc.SepIF:
-		e.allocateSepIF(reqs, grants)
+		e.allocateSepIF(reqs, grants, act)
 	case alloc.SepOF:
-		e.allocateSepOF(reqs, grants)
+		e.allocateSepOF(reqs, grants, act)
 	case alloc.Wavefront:
-		e.allocateWavefront(reqs, grants)
+		e.allocateWavefront(reqs, grants, act)
 	}
 }
 
@@ -258,24 +365,32 @@ func (e *vcEngine) allocate(reqs []VCRequest, grants []int) {
 // its candidate output VCs, then each output VC arbitrates among incoming
 // bids with a P·w-input tree arbiter. Input arbiters update priority only
 // when the bid wins output arbitration.
-func (e *vcEngine) allocateSepIF(reqs []VCRequest, grants []int) {
-	p, v := e.cfg.Ports, e.cfg.Spec.V()
+func (e *vcEngine) allocateSepIF(reqs []VCRequest, grants []int, act *bitvec.Vec) {
 	// Clear only the bid vectors dirtied by the previous cycle.
-	for lo := e.bidsAny.NextSet(0); lo >= 0; lo = e.bidsAny.NextSet(lo + 1) {
-		e.bids[lo].Reset()
+	for wi, bw := range e.bidsAny.Words() {
+		for base := wi * 64; bw != 0; bw &= bw - 1 {
+			e.bids[base+bits.TrailingZeros64(bw)].Reset()
+		}
 	}
 	e.bidsAny.Reset()
-	// Stage 1: input-side arbitration.
-	for port := 0; port < p; port++ {
-		for vc := e.off; vc < e.off+e.w; vc++ {
-			gi := port*v + vc
-			li := e.local(port, vc)
-			e.bidVC[li] = -1
-			r := reqs[gi]
-			if !e.loadCandidates(r) {
+	// Stage 1: input-side arbitration. Stage 2 reads bidVC only for input
+	// VCs that bid this cycle, so stale entries of inactive VCs are never
+	// observed and need no clearing. act is not mutated here, so the word
+	// scan reads a consistent snapshot; liOf fuses the VC-window filter
+	// and the local-index divides into one table lookup.
+	for wi, aw := range act.Words() {
+		for base := wi * 64; aw != 0; aw &= aw - 1 {
+			gi := base + bits.TrailingZeros64(aw)
+			li := int(e.liOf[gi])
+			if li < 0 {
 				continue
 			}
-			c := e.inArb[li].Pick(e.cand)
+			r := reqs[gi]
+			cand := e.candFor(r)
+			if cand == nil {
+				continue
+			}
+			c := e.inArb[li].Pick(cand)
 			if c < 0 {
 				continue
 			}
@@ -286,16 +401,17 @@ func (e *vcEngine) allocateSepIF(reqs []VCRequest, grants []int) {
 		}
 	}
 	// Stage 2: output-side arbitration at the output VCs that received bids.
-	for lo := e.bidsAny.NextSet(0); lo >= 0; lo = e.bidsAny.NextSet(lo + 1) {
-		winner := e.outArb[lo].Pick(e.bids[lo])
-		if winner < 0 {
-			continue
+	for wi, bw := range e.bidsAny.Words() {
+		for base := wi * 64; bw != 0; bw &= bw - 1 {
+			lo := base + bits.TrailingZeros64(bw)
+			winner := e.outArb[lo].Pick(e.bids[lo])
+			if winner < 0 {
+				continue
+			}
+			grants[e.gIdx[winner]] = int(e.gIdx[lo])
+			e.outArb[lo].Update(winner)
+			e.inArb[winner].Update(e.bidVC[winner])
 		}
-		wp, wv := e.global(winner)
-		oPort, oc := lo/e.w, lo%e.w
-		grants[wp*v+wv] = oPort*v + (e.off + oc)
-		e.outArb[lo].Update(winner)
-		e.inArb[winner].Update(e.bidVC[winner])
 	}
 }
 
@@ -303,8 +419,8 @@ func (e *vcEngine) allocateSepIF(reqs []VCRequest, grants []int) {
 // all requesting input VCs, then each input VC that received one or more
 // offers picks a winner. Output arbiters update priority only when their
 // offer is accepted.
-func (e *vcEngine) allocateSepOF(reqs []VCRequest, grants []int) {
-	p, v := e.cfg.Ports, e.cfg.Spec.V()
+func (e *vcEngine) allocateSepOF(reqs []VCRequest, grants []int, act *bitvec.Vec) {
+	v := e.cfg.Spec.V()
 	// Clear the vectors dirtied by the previous cycle.
 	for lo := e.outAny.NextSet(0); lo >= 0; lo = e.outAny.NextSet(lo + 1) {
 		e.reqTo[lo].Reset()
@@ -316,18 +432,20 @@ func (e *vcEngine) allocateSepOF(reqs []VCRequest, grants []int) {
 	e.offAny.Reset()
 	// Gather: transpose each input VC's candidate set into per-output-VC
 	// request vectors, replacing the per-output scan over all input VCs.
-	for port := 0; port < p; port++ {
-		for vc := e.off; vc < e.off+e.w; vc++ {
-			r := reqs[port*v+vc]
-			if !e.loadCandidates(r) {
-				continue
-			}
-			li := e.local(port, vc)
-			base := r.OutPort * e.w
-			for c := e.cand.NextSet(0); c >= 0; c = e.cand.NextSet(c + 1) {
-				e.reqTo[base+c].Set(li)
-				e.outAny.Set(base + c)
-			}
+	for gi := act.NextSet(0); gi >= 0; gi = act.NextSet(gi + 1) {
+		li := int(e.liOf[gi])
+		if li < 0 {
+			continue
+		}
+		r := reqs[gi]
+		cand := e.candFor(r)
+		if cand == nil {
+			continue
+		}
+		base := r.OutPort * e.w
+		for c := cand.NextSet(0); c >= 0; c = cand.NextSet(c + 1) {
+			e.reqTo[base+c].Set(li)
+			e.outAny.Set(base + c)
 		}
 	}
 	// Stage 1: output-side arbitration at every requested output VC.
@@ -345,9 +463,9 @@ func (e *vcEngine) allocateSepOF(reqs []VCRequest, grants []int) {
 		if c < 0 {
 			continue
 		}
-		wp, wv := e.global(li)
-		oPort := reqs[wp*v+wv].OutPort
-		grants[wp*v+wv] = oPort*v + (e.off + c)
+		gi := int(e.gIdx[li])
+		oPort := reqs[gi].OutPort
+		grants[gi] = oPort*v + (e.off + c)
 		e.inArb[li].Update(c)
 		e.outArb[oPort*e.w+c].Update(li)
 	}
@@ -355,26 +473,27 @@ func (e *vcEngine) allocateSepOF(reqs []VCRequest, grants []int) {
 
 // allocateWavefront implements Fig. 3(c): a (P·w)×(P·w) wavefront allocator
 // over the full request matrix.
-func (e *vcEngine) allocateWavefront(reqs []VCRequest, grants []int) {
-	p, v := e.cfg.Ports, e.cfg.Spec.V()
+func (e *vcEngine) allocateWavefront(reqs []VCRequest, grants []int, act *bitvec.Vec) {
 	// Clear only the request rows dirtied by the previous cycle.
 	for row := e.wfRows.NextSet(0); row >= 0; row = e.wfRows.NextSet(row + 1) {
 		e.wfReq.Row(row).Reset()
 	}
 	e.wfRows.Reset()
-	for port := 0; port < p; port++ {
-		for vc := e.off; vc < e.off+e.w; vc++ {
-			r := reqs[port*v+vc]
-			if !e.loadCandidates(r) {
-				continue
-			}
-			row := e.local(port, vc)
-			e.wfRows.Set(row)
-			base := r.OutPort * e.w
-			wfRow := e.wfReq.Row(row)
-			for c := e.cand.NextSet(0); c >= 0; c = e.cand.NextSet(c + 1) {
-				wfRow.Set(base + c)
-			}
+	for gi := act.NextSet(0); gi >= 0; gi = act.NextSet(gi + 1) {
+		row := int(e.liOf[gi])
+		if row < 0 {
+			continue
+		}
+		r := reqs[gi]
+		cand := e.candFor(r)
+		if cand == nil {
+			continue
+		}
+		e.wfRows.Set(row)
+		base := r.OutPort * e.w
+		wfRow := e.wfReq.Row(row)
+		for c := cand.NextSet(0); c >= 0; c = cand.NextSet(c + 1) {
+			wfRow.Set(base + c)
 		}
 	}
 	g := e.wf.Allocate(e.wfReq)
@@ -382,9 +501,7 @@ func (e *vcEngine) allocateWavefront(reqs []VCRequest, grants []int) {
 	for row := e.wfRows.NextSet(0); row >= 0; row = e.wfRows.NextSet(row + 1) {
 		gRow := g.Row(row)
 		if col := gRow.NextSet(0); col >= 0 {
-			ip, iv := e.global(row)
-			oPort, oc := col/e.w, col%e.w
-			grants[ip*v+iv] = oPort*v + (e.off + oc)
+			grants[e.gIdx[row]] = int(e.gIdx[col])
 		}
 	}
 }

@@ -264,6 +264,11 @@ type SimScale struct {
 	// router and terminal every cycle; results are bit-identical either way
 	// (golden tests rely on this), the dense stepper is just slower.
 	Dense bool
+	// DenseRequests disables the routers' change-driven request caching and
+	// rebuilds every VA/switch request from scratch each cycle
+	// (sim.Config.DenseRequests); an independent axis from Dense, likewise
+	// bit-identical and slower, kept as the golden reference path.
+	DenseRequests bool
 }
 
 // DefaultScale is sized for the cmd-line tools.
@@ -339,6 +344,7 @@ func BuildSim(pt Point, rate float64, scale SimScale) sim.Config {
 		Drain:         scale.Drain,
 		Shards:        scale.Shards,
 		Dense:         scale.Dense,
+		DenseRequests: scale.DenseRequests,
 	}
 	switch pt.Topo {
 	case "mesh":

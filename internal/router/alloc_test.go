@@ -9,34 +9,44 @@ import (
 
 // TestStepSteadyStateZeroAlloc locks in the zero-allocation steady state:
 // once warmed up, a router cycle (accept, Step, credit return) must not touch
-// the heap, so simulation throughput is not GC-bound.
+// the heap, so simulation throughput is not GC-bound. Both request schedules
+// are covered: the default change-driven path (dirty masks, cached request
+// vectors) and the DenseRequests reference rebuild.
 func TestStepSteadyStateZeroAlloc(t *testing.T) {
 	for _, mode := range []core.SpecMode{core.SpecNone, core.SpecReq, core.SpecGnt} {
-		t.Run(mode.String(), func(t *testing.T) {
-			r := New(testConfig(mode))
-			// Pre-built single-flit packets, recycled through the router so
-			// the measured loop performs no packet construction of its own.
-			flits := make([]*Flit, 16)
-			for i := range flits {
-				flits[i] = MakeFlits(mkPacket(int64(i), traffic.ReadRequest, 0))[0]
+		for _, dense := range []bool{false, true} {
+			name := mode.String() + "/dirty"
+			if dense {
+				name = mode.String() + "/denserequests"
 			}
-			next := 0
-			cycle := func() {
-				if r.InputOccupancy(0, 0) < 4 {
-					r.AcceptFlit(0, 0, flits[next%len(flits)])
-					next++
+			t.Run(name, func(t *testing.T) {
+				cfg := testConfig(mode)
+				cfg.DenseRequests = dense
+				r := New(cfg)
+				// Pre-built single-flit packets, recycled through the router so
+				// the measured loop performs no packet construction of its own.
+				flits := make([]*Flit, 16)
+				for i := range flits {
+					flits[i] = MakeFlits(mkPacket(int64(i), traffic.ReadRequest, 0))[0]
 				}
-				deps, _ := r.Step()
-				for _, d := range deps {
-					r.AcceptCredit(d.OutPort, d.OutVC)
+				next := 0
+				cycle := func() {
+					if r.InputOccupancy(0, 0) < 4 {
+						r.AcceptFlit(0, 0, flits[next%len(flits)])
+						next++
+					}
+					deps, _ := r.Step()
+					for _, d := range deps {
+						r.AcceptCredit(d.OutPort, d.OutVC)
+					}
 				}
-			}
-			for i := 0; i < 100; i++ { // reach steady state first
-				cycle()
-			}
-			if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
-				t.Fatalf("steady-state router cycle allocates %.2f times, want 0", avg)
-			}
-		})
+				for i := 0; i < 100; i++ { // reach steady state first
+					cycle()
+				}
+				if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+					t.Fatalf("steady-state router cycle allocates %.2f times, want 0", avg)
+				}
+			})
+		}
 	}
 }

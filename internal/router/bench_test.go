@@ -1,0 +1,140 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+// Router microbenchmarks for the change-driven request schedule. Each
+// benchmark runs at two operating points — low load (a single trickling VC,
+// the regime where the dirty mask skips nearly everything) and saturation
+// (every input VC backed up behind one output port, the regime where the
+// masked allocators earn their keep) — and under both schedules, so the
+// dirty-vs-dense cost ratio is tracked directly alongside the JSON
+// snapshots. All benchmarks report allocations: the steady-state router
+// cycle must stay heap-free (see TestStepSteadyStateZeroAlloc).
+
+// benchFeeder recycles a fixed set of single-flit packets through the
+// router so the measured loop performs no packet construction of its own.
+type benchFeeder struct {
+	r     *Router
+	flits []*Flit
+	next  int
+	ports int // input ports fed each cycle (1 = low load, all = saturation)
+}
+
+func newBenchFeeder(r *Router, ports int) *benchFeeder {
+	f := &benchFeeder{r: r, ports: ports}
+	for i := 0; i < 32; i++ {
+		f.flits = append(f.flits, MakeFlits(mkPacket(int64(i), traffic.ReadRequest, 0))[0])
+	}
+	return f
+}
+
+// feed tops up the fed input ports; at saturation every port's VC 0 stays
+// backed up behind the single routed output, at low load port 0 trickles.
+func (f *benchFeeder) feed() {
+	for port := 0; port < f.ports; port++ {
+		if f.r.InputOccupancy(port, 0) < 4 {
+			f.r.AcceptFlit(port, 0, f.flits[f.next%len(f.flits)])
+			f.next++
+		}
+	}
+}
+
+// cycle runs one full accept/Step/credit-return round.
+func (f *benchFeeder) cycle() {
+	f.feed()
+	deps, _ := f.r.Step()
+	for _, d := range deps {
+		f.r.AcceptCredit(d.OutPort, d.OutVC)
+	}
+}
+
+func benchStep(b *testing.B, fedPorts int, dense bool) {
+	cfg := testConfig(core.SpecReq)
+	cfg.DenseRequests = dense
+	r := New(cfg)
+	f := newBenchFeeder(r, fedPorts)
+	for i := 0; i < 200; i++ { // reach steady state first
+		f.cycle()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.cycle()
+	}
+}
+
+func BenchmarkStepLowLoadDirty(b *testing.B)    { benchStep(b, 1, false) }
+func BenchmarkStepLowLoadDense(b *testing.B)    { benchStep(b, 1, true) }
+func BenchmarkStepSaturationDirty(b *testing.B) { benchStep(b, 4, false) }
+func BenchmarkStepSaturationDense(b *testing.B) { benchStep(b, 4, true) }
+
+// benchBuildRequests isolates the request-assembly phase. Under the dirty
+// schedule the benchmark re-marks the fed VCs every iteration (the mask a
+// flit arrival would set); under DenseRequests every entry is rebuilt, which
+// is exactly what the change-driven schedule avoids.
+func benchBuildRequests(b *testing.B, fedPorts int, dense bool) {
+	cfg := testConfig(core.SpecReq)
+	cfg.DenseRequests = dense
+	r := New(cfg)
+	f := newBenchFeeder(r, fedPorts)
+	for i := 0; i < 200; i++ {
+		f.cycle()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !dense {
+			for port := 0; port < fedPorts; port++ {
+				r.dirty.Set(port * r.v)
+			}
+		}
+		r.buildRequests()
+	}
+	b.StopTimer()
+	r.dirty.Reset() // leave the router consistent for any follow-on use
+}
+
+func BenchmarkBuildRequestsLowLoadDirty(b *testing.B)    { benchBuildRequests(b, 1, false) }
+func BenchmarkBuildRequestsLowLoadDense(b *testing.B)    { benchBuildRequests(b, 1, true) }
+func BenchmarkBuildRequestsSaturationDirty(b *testing.B) { benchBuildRequests(b, 4, false) }
+func BenchmarkBuildRequestsSaturationDense(b *testing.B) { benchBuildRequests(b, 4, true) }
+
+// benchCommitSA times only the switch-traversal commit: the accept, request
+// build, allocation and VA commit phases run with the timer stopped, then
+// the timer covers the commitSA call that pops winning flits, emits
+// departures and credits, and marks next-cycle dirty bits.
+func benchCommitSA(b *testing.B, fedPorts int) {
+	r := New(testConfig(core.SpecReq))
+	f := newBenchFeeder(r, fedPorts)
+	for i := 0; i < 200; i++ {
+		f.cycle()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f.feed()
+		r.deps = r.deps[:0]
+		r.credits = r.credits[:0]
+		r.buildRequests()
+		copy(r.vaGranted, r.vaMasked(r.vaReqs, r.dirty))
+		saGrants := r.saMasked(r.saReqs, r.dirty)
+		r.dirty.Reset()
+		r.commitVA()
+		b.StartTimer()
+		r.commitSA(saGrants)
+		b.StopTimer()
+		for _, d := range r.deps {
+			r.AcceptCredit(d.OutPort, d.OutVC)
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkCommitSALowLoad(b *testing.B)    { benchCommitSA(b, 1) }
+func BenchmarkCommitSASaturation(b *testing.B) { benchCommitSA(b, 4) }

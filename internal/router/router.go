@@ -9,6 +9,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
@@ -91,12 +92,20 @@ type Config struct {
 	// VA/SA grants, misspeculations).
 	Trace trace.Recorder
 	// Validate enables per-cycle allocation checking: every VC and switch
-	// allocation result is verified against its requests and violations
-	// panic. Intended for tests and debugging; roughly doubles Step cost.
+	// allocation result is verified against its requests, the cached
+	// request vectors are cross-checked against a dense rebuild, and
+	// violations panic. Intended for tests and debugging; roughly doubles
+	// Step cost.
 	Validate bool
+	// DenseRequests disables change-driven request caching: every cycle the
+	// router recomputes all VA and switch requests from scratch instead of
+	// rebuilding only the entries of input VCs touched by an event since
+	// the last cycle. Kept as the golden reference for the equivalence
+	// tests; the default change-driven path is bit-identical.
+	DenseRequests bool
 }
 
-type vcState int
+type vcState uint8
 
 const (
 	vcIdle   vcState = iota // no packet, or body flits not yet at front
@@ -104,55 +113,63 @@ const (
 	vcActive                // output VC assigned; flits compete for the switch
 )
 
-// inputVC holds one input VC's buffer as a fixed-capacity ring: head indexes
-// the front flit and count the occupancy, so dequeue is O(1) instead of the
-// O(depth) slice shift it replaces.
-type inputVC struct {
-	fifo    []*Flit // ring storage, len == BufDepth
-	head    int
-	count   int
-	state   vcState
-	outPort int
-	class   int // resource class requested at this router
-	outVC   int // local VC index at outPort, valid when vcActive
-}
-
-func (q *inputVC) front() *Flit { return q.fifo[q.head] }
-
-func (q *inputVC) push(f *Flit) {
-	q.fifo[(q.head+q.count)%len(q.fifo)] = f
-	q.count++
-}
-
-func (q *inputVC) pop() *Flit {
-	f := q.fifo[q.head]
-	q.fifo[q.head] = nil
-	q.head = (q.head + 1) % len(q.fifo)
-	q.count--
-	return f
-}
-
-type outputVC struct {
-	allocated bool
-	credits   int
-}
-
 // Router is one router instance. It is not safe for concurrent use.
+//
+// Input and output VC state lives in flat struct-of-arrays slices indexed by
+// global VC index port*v+vc rather than in per-VC structs: the change-driven
+// request rebuild walks only the dirty VCs, and the SoA layout keeps each
+// field it touches (state, count, route) in its own contiguous run of memory
+// instead of striding over full per-VC records.
 type Router struct {
-	cfg  Config
-	p, v int
+	cfg   Config
+	p, v  int
+	depth int
 
 	va core.VCAllocator
 	sa core.SwitchAllocator
+	// vaMasked and saMasked are the allocators' incremental entry points,
+	// resolved once at construction; nil when the allocator keeps no derived
+	// request cache (free queue, precomputed) or under DenseRequests.
+	vaMasked func([]core.VCRequest, *bitvec.Vec) []int
+	saMasked func([]core.SwitchRequest, *bitvec.Vec) []core.SwitchGrant
 
-	in  []inputVC  // p*v
-	out []outputVC // p*v
+	// Input VC state (SoA, indexed port*v+vc). fifo holds all input
+	// buffers back to back: VC i's ring is fifo[i*depth : (i+1)*depth],
+	// fronted by head[i] with count[i] occupied slots.
+	fifo    []*Flit
+	head    []int32
+	count   []int32
+	state   []vcState
+	outPort []int32 // route: output port, valid from vcWaitVA on
+	class   []int32 // route: resource class requested at this router
+	outVC   []int32 // local VC index at outPort, valid when vcActive
+	// Output VC state (SoA). outAlloc holds one v-wide allocation mask per
+	// output port, so candidate masking is a word operation; outOwner maps
+	// an allocated output VC back to the input VC holding it (-1 when
+	// free), which is how a credit return finds the one cached switch
+	// request it can invalidate.
+	outAlloc   []*bitvec.Vec // per output port, width v
+	outCredits []int32       // per output VC
+	outOwner   []int32       // per output VC: owning input VC or -1
 
 	vaReqs     []core.VCRequest
 	saReqs     []core.SwitchRequest
 	candidates []*bitvec.Vec // per input VC, width v
 	classMasks []*bitvec.Vec // per (m,r) class, width v
 	vaGranted  []int         // per input VC: granted global out VC this cycle, -1
+
+	// dirty marks the input VCs whose cached VA/SA request entries must be
+	// rebuilt this cycle; every other entry is byte-identical to what a
+	// dense rebuild would produce (see DESIGN.md for the event inventory).
+	// waiters[o] marks the input VCs in vcWaitVA routed to output port o —
+	// the set whose candidate masks depend on port o's allocation state.
+	dirty   *bitvec.Vec
+	waiters []*bitvec.Vec
+
+	// chkCand is Validate-mode scratch for the dense request cross-check.
+	chkCand *bitvec.Vec
+
+	speculate bool
 
 	deps    []Departure
 	credits []Credit
@@ -202,23 +219,41 @@ func New(cfg Config) *Router {
 	cfg.VA.Spec = cfg.Spec
 	cfg.SA.Ports = cfg.Ports
 	cfg.SA.VCs = v
+	n := cfg.Ports * v
 	r := &Router{
 		cfg:        cfg,
 		p:          cfg.Ports,
 		v:          v,
+		depth:      cfg.BufDepth,
 		va:         core.NewVCAllocator(cfg.VA),
 		sa:         core.NewSwitchAllocator(cfg.SA),
-		in:         make([]inputVC, cfg.Ports*v),
-		out:        make([]outputVC, cfg.Ports*v),
-		vaReqs:     make([]core.VCRequest, cfg.Ports*v),
-		saReqs:     make([]core.SwitchRequest, cfg.Ports*v),
-		candidates: make([]*bitvec.Vec, cfg.Ports*v),
-		vaGranted:  make([]int, cfg.Ports*v),
+		fifo:       make([]*Flit, n*cfg.BufDepth),
+		head:       make([]int32, n),
+		count:      make([]int32, n),
+		state:      make([]vcState, n),
+		outPort:    make([]int32, n),
+		class:      make([]int32, n),
+		outVC:      make([]int32, n),
+		outAlloc:   make([]*bitvec.Vec, cfg.Ports),
+		outCredits: make([]int32, n),
+		outOwner:   make([]int32, n),
+		vaReqs:     make([]core.VCRequest, n),
+		saReqs:     make([]core.SwitchRequest, n),
+		candidates: make([]*bitvec.Vec, n),
+		vaGranted:  make([]int, n),
+		dirty:      bitvec.New(n),
+		waiters:    make([]*bitvec.Vec, cfg.Ports),
+		chkCand:    bitvec.New(v),
+		speculate:  cfg.SA.SpecMode != core.SpecNone,
 	}
-	for i := range r.in {
-		r.in[i].fifo = make([]*Flit, cfg.BufDepth)
-		r.out[i].credits = cfg.BufDepth
+	for i := 0; i < n; i++ {
+		r.outCredits[i] = int32(cfg.BufDepth)
+		r.outOwner[i] = -1
 		r.candidates[i] = bitvec.New(v)
+	}
+	for p := 0; p < cfg.Ports; p++ {
+		r.outAlloc[p] = bitvec.New(v)
+		r.waiters[p] = bitvec.New(n)
 	}
 	for m := 0; m < cfg.Spec.MessageClasses; m++ {
 		for rc := 0; rc < cfg.Spec.ResourceClasses; rc++ {
@@ -230,6 +265,14 @@ func New(cfg Config) *Router {
 	}
 	if s, ok := r.sa.(idleSkipper); ok {
 		r.skipSA = s.SkipIdle
+	}
+	if !cfg.DenseRequests {
+		if m, ok := r.va.(core.MaskedVCAllocator); ok {
+			r.vaMasked = m.AllocateMasked
+		}
+		if m, ok := r.sa.(core.MaskedSwitchAllocator); ok {
+			r.saMasked = m.AllocateMasked
+		}
 	}
 	return r
 }
@@ -243,27 +286,44 @@ func (r *Router) Ports() int { return r.p }
 // VCs returns the per-port VC count.
 func (r *Router) VCs() int { return r.v }
 
+// front returns the flit at the head of input VC i's ring buffer.
+func (r *Router) front(i int) *Flit { return r.fifo[i*r.depth+int(r.head[i])] }
+
 // AcceptFlit delivers a flit into input buffer (port, vc). The caller is
 // responsible for honoring credits; overflow panics, as it indicates a
 // flow-control bug rather than a recoverable condition.
 func (r *Router) AcceptFlit(port, vc int, f *Flit) {
-	ivc := &r.in[port*r.v+vc]
-	if ivc.count >= r.cfg.BufDepth {
+	i := port*r.v + vc
+	c := int(r.count[i])
+	if c >= r.depth {
 		panic(fmt.Sprintf("router %d: input buffer (%d,%d) overflow", r.cfg.ID, port, vc))
 	}
-	if ivc.count == 0 {
+	if c == 0 {
 		r.occupied++
 	}
-	ivc.push(f)
+	// head < depth and c < depth, so one conditional subtract replaces the
+	// modulo's hardware divide on this per-flit path.
+	pos := int(r.head[i]) + c
+	if pos >= r.depth {
+		pos -= r.depth
+	}
+	r.fifo[i*r.depth+pos] = f
+	r.count[i] = int32(c + 1)
+	r.dirty.Set(i)
 }
 
 // AcceptCredit returns one credit for output VC (port, vc).
 func (r *Router) AcceptCredit(port, vc int) {
-	ovc := &r.out[port*r.v+vc]
-	if ovc.credits >= r.cfg.BufDepth {
+	g := port*r.v + vc
+	if int(r.outCredits[g]) >= r.depth {
 		panic(fmt.Sprintf("router %d: credit overflow at output (%d,%d)", r.cfg.ID, port, vc))
 	}
-	ovc.credits++
+	r.outCredits[g]++
+	// Only the input VC holding this output VC has a cached switch request
+	// gated on its credit count.
+	if o := r.outOwner[g]; o >= 0 {
+		r.dirty.Set(int(o))
+	}
 }
 
 // OutputOccupancy estimates the flits queued downstream of output port p as
@@ -271,17 +331,17 @@ func (r *Router) AcceptCredit(port, vc int) {
 func (r *Router) OutputOccupancy(port int) int {
 	occ := 0
 	for vc := 0; vc < r.v; vc++ {
-		occ += r.cfg.BufDepth - r.out[port*r.v+vc].credits
+		occ += r.depth - int(r.outCredits[port*r.v+vc])
 	}
 	return occ
 }
 
 // InputOccupancy returns the number of buffered flits at input (port, vc);
 // exposed for tests and statistics.
-func (r *Router) InputOccupancy(port, vc int) int { return r.in[port*r.v+vc].count }
+func (r *Router) InputOccupancy(port, vc int) int { return int(r.count[port*r.v+vc]) }
 
 // OutputVCFree reports whether output VC (port, vc) is unallocated.
-func (r *Router) OutputVCFree(port, vc int) bool { return !r.out[port*r.v+vc].allocated }
+func (r *Router) OutputVCFree(port, vc int) bool { return !r.outAlloc[port].Get(vc) }
 
 // Stats returns the router's pipeline event counters, folding in the switch
 // allocator's masking statistics.
@@ -316,6 +376,16 @@ func (r *Router) SkipIdle(idleCycles int64) {
 // (speculative) switch allocation, then switch traversal commits. The
 // returned slices are reused across calls.
 //
+// The default schedule is change-driven: the VA and switch request entries
+// handed to the allocators are cached across cycles and only the entries of
+// input VCs marked dirty — by flit arrival, credit return, a VA or SA grant
+// commit, or an allocation-state change at their output port — are rebuilt.
+// Clean entries are byte-identical to what a full rebuild would produce, so
+// the allocators (which treat the request slice as read-only input) cannot
+// distinguish the two schedules; Config.DenseRequests selects the full
+// rebuild as a golden reference and Config.Validate cross-checks the cache
+// against it every cycle.
+//
 // Concurrency contract: distinct Router instances share no mutable state,
 // so Step (and AcceptFlit/AcceptCredit/SkipIdle for the same router's
 // events) may run concurrently across routers — the sim package's sharded
@@ -330,12 +400,25 @@ func (r *Router) Step() ([]Departure, []Credit) {
 	r.deps = r.deps[:0]
 	r.credits = r.credits[:0]
 
-	r.refreshRoutes()
-	r.buildVARequests()
-	vaGrants := r.va.Allocate(r.vaReqs)
+	r.buildRequests()
+	// The dirty mask doubles as the allocators' changed-entry set: the
+	// entries just rebuilt are exactly the ones that may differ from what
+	// the allocator saw last cycle, so masked allocators refresh only the
+	// derived state of those entries.
+	var vaGrants []int
+	if r.vaMasked != nil {
+		vaGrants = r.vaMasked(r.vaReqs, r.dirty)
+	} else {
+		vaGrants = r.va.Allocate(r.vaReqs)
+	}
 	copy(r.vaGranted, vaGrants)
-	r.buildSARequests()
-	saGrants := r.sa.Allocate(r.saReqs)
+	var saGrants []core.SwitchGrant
+	if r.saMasked != nil {
+		saGrants = r.saMasked(r.saReqs, r.dirty)
+	} else {
+		saGrants = r.sa.Allocate(r.saReqs)
+	}
+	r.dirty.Reset()
 	if r.cfg.Validate {
 		if err := core.CheckVCGrants(r.p, r.cfg.Spec, r.vaReqs, r.vaGranted); err != nil {
 			panic(fmt.Sprintf("router %d: %v", r.cfg.ID, err))
@@ -349,106 +432,159 @@ func (r *Router) Step() ([]Departure, []Credit) {
 	return r.deps, r.credits
 }
 
-// refreshRoutes applies lookahead routing: any idle input VC whose front
-// flit is a head computes its output port and resource class immediately.
-func (r *Router) refreshRoutes() {
-	for i := range r.in {
-		ivc := &r.in[i]
-		if ivc.state != vcIdle || ivc.count == 0 {
-			continue
+// buildRequests refreshes routes and assembles this cycle's VA and switch
+// request entries: for every input VC under DenseRequests, otherwise only
+// for the dirty ones. The dirty mask survives until after the allocators
+// run — Step hands it to them as the changed-entry set — and is reset before
+// the commit phase starts marking VCs for the next cycle.
+func (r *Router) buildRequests() {
+	if r.cfg.DenseRequests {
+		for i := range r.state {
+			r.buildRequest(i)
 		}
-		f := ivc.front()
+		return
+	}
+	// Word-at-a-time scan: buildRequest never touches the dirty mask (bits
+	// are only set again during the commit phase), so iterating a snapshot
+	// of each word is safe and skips the per-bit NextSet re-entry.
+	for wi, w := range r.dirty.Words() {
+		for base := wi * 64; w != 0; w &= w - 1 {
+			r.buildRequest(base + bits.TrailingZeros64(w))
+		}
+	}
+	if r.cfg.Validate {
+		r.checkRequestCache()
+	}
+}
+
+// buildRequest recomputes input VC i's route (lookahead routing: an idle VC
+// whose front flit is a head computes its output port and resource class
+// immediately) and its VA and switch request entries.
+func (r *Router) buildRequest(i int) {
+	if r.state[i] == vcIdle && r.count[i] > 0 {
+		f := r.front(i)
 		if !f.Head {
 			panic(fmt.Sprintf("router %d: body flit at front of idle VC %d", r.cfg.ID, i))
 		}
 		outPort, class := r.cfg.Routing.NextHop(r.cfg.ID, &f.Pkt.Route)
-		ivc.outPort = outPort
-		ivc.class = class
-		ivc.state = vcWaitVA
+		r.outPort[i] = int32(outPort)
+		r.class[i] = int32(class)
+		r.state[i] = vcWaitVA
+		r.waiters[outPort].Set(i)
 		if r.cfg.Trace != nil {
 			r.cfg.Trace.Record(trace.Event{Kind: trace.RouteComputed, Router: r.cfg.ID,
 				Port: i / r.v, VC: i % r.v, OutPort: outPort, OutVC: -1,
 				Packet: f.Pkt.ID, Seq: f.Seq})
 		}
 	}
+	r.vaReqs[i] = r.computeVAReq(i, r.candidates[i])
+	r.saReqs[i] = r.computeSAReq(i, r.vaReqs[i].Active)
 }
 
-// buildVARequests assembles this cycle's VC allocation requests: one per
-// input VC holding a head flit, restricted to free output VCs of the
-// packet's message class and the routing function's resource class.
-func (r *Router) buildVARequests() {
-	for i := range r.in {
-		ivc := &r.in[i]
-		r.vaReqs[i] = core.VCRequest{}
-		if ivc.state != vcWaitVA {
-			continue
+// computeVAReq assembles input VC i's VC allocation request into cand: a
+// request is issued for a head flit awaiting an output VC, restricted to
+// free output VCs of the packet's message class and the routing function's
+// resource class.
+func (r *Router) computeVAReq(i int, cand *bitvec.Vec) core.VCRequest {
+	if r.state[i] != vcWaitVA {
+		return core.VCRequest{}
+	}
+	m := r.front(i).Pkt.Type.MessageClass()
+	mask := r.classMasks[r.cfg.Spec.ClassIndex(m, int(r.class[i]))]
+	if !cand.AndNotInto(mask, r.outAlloc[r.outPort[i]]) {
+		return core.VCRequest{}
+	}
+	return core.VCRequest{Active: true, OutPort: int(r.outPort[i]), Candidates: cand}
+}
+
+// computeSAReq assembles input VC i's switch request: non-speculative for an
+// active VC with a buffered flit and downstream credit, speculative for a
+// head flit that issued a VC request this cycle (when speculation is
+// enabled).
+func (r *Router) computeSAReq(i int, vaActive bool) core.SwitchRequest {
+	switch r.state[i] {
+	case vcActive:
+		if r.count[i] == 0 {
+			return core.SwitchRequest{}
 		}
-		m := ivc.front().Pkt.Type.MessageClass()
-		mask := r.classMasks[r.cfg.Spec.ClassIndex(m, ivc.class)]
-		cand := r.candidates[i]
-		cand.CopyFrom(mask)
-		base := ivc.outPort * r.v
-		cand.ForEach(func(c int) {
-			if r.out[base+c].allocated {
-				cand.Clear(c)
+		if r.outCredits[int(r.outPort[i])*r.v+int(r.outVC[i])] <= 0 {
+			return core.SwitchRequest{}
+		}
+		return core.SwitchRequest{Active: true, OutPort: int(r.outPort[i])}
+	case vcWaitVA:
+		if r.speculate && vaActive {
+			return core.SwitchRequest{Active: true, OutPort: int(r.outPort[i]), Spec: true}
+		}
+	}
+	return core.SwitchRequest{}
+}
+
+// checkRequestCache panics unless every cached request entry — clean or
+// dirty — matches a dense rebuild of the current state, and the waiter and
+// owner indexes agree with the VC state machine. Run under Validate, it
+// turns any missed dirty bit into a deterministic failure at the cycle it
+// first happens instead of a silent divergence.
+func (r *Router) checkRequestCache() {
+	for i := range r.state {
+		if r.state[i] == vcIdle && r.count[i] > 0 {
+			panic(fmt.Sprintf("router %d: VC %d holds flits but was never routed (missed dirty bit)", r.cfg.ID, i))
+		}
+		wantVA := r.computeVAReq(i, r.chkCand)
+		gotVA := r.vaReqs[i]
+		if wantVA.Active != gotVA.Active ||
+			(wantVA.Active && (wantVA.OutPort != gotVA.OutPort || !r.chkCand.Equal(gotVA.Candidates))) {
+			panic(fmt.Sprintf("router %d: stale cached VA request for VC %d (missed dirty bit)", r.cfg.ID, i))
+		}
+		if want := r.computeSAReq(i, gotVA.Active); want != r.saReqs[i] {
+			panic(fmt.Sprintf("router %d: stale cached switch request for VC %d (missed dirty bit)", r.cfg.ID, i))
+		}
+		if r.state[i] == vcWaitVA && !r.waiters[r.outPort[i]].Get(i) {
+			panic(fmt.Sprintf("router %d: waiting VC %d missing from waiter mask of port %d", r.cfg.ID, i, r.outPort[i]))
+		}
+		if r.state[i] == vcActive {
+			if g := int(r.outPort[i])*r.v + int(r.outVC[i]); int(r.outOwner[g]) != i {
+				panic(fmt.Sprintf("router %d: output VC %d owner index does not name holder %d", r.cfg.ID, g, i))
 			}
-		})
-		if !cand.Any() {
-			continue
 		}
-		r.vaReqs[i] = core.VCRequest{Active: true, OutPort: ivc.outPort, Candidates: cand}
+	}
+	for p := 0; p < r.p; p++ {
+		for c := 0; c < r.v; c++ {
+			if r.outAlloc[p].Get(c) != (r.outOwner[p*r.v+c] >= 0) {
+				panic(fmt.Sprintf("router %d: output VC (%d,%d) allocation/owner mismatch", r.cfg.ID, p, c))
+			}
+		}
 	}
 }
 
-// buildSARequests assembles switch requests: non-speculative for active VCs
-// with a buffered flit and downstream credit, speculative for head flits
-// that issued a VC request this cycle (when speculation is enabled).
-func (r *Router) buildSARequests() {
-	speculate := r.cfg.SA.SpecMode != core.SpecNone
-	for i := range r.in {
-		ivc := &r.in[i]
-		r.saReqs[i] = core.SwitchRequest{}
-		switch ivc.state {
-		case vcActive:
-			if ivc.count == 0 {
-				continue
-			}
-			if r.out[ivc.outPort*r.v+ivc.outVC].credits <= 0 {
-				continue
-			}
-			r.saReqs[i] = core.SwitchRequest{Active: true, OutPort: ivc.outPort}
-		case vcWaitVA:
-			if speculate && r.vaReqs[i].Active {
-				r.saReqs[i] = core.SwitchRequest{Active: true, OutPort: ivc.outPort, Spec: true}
-			}
-		}
-	}
-}
-
-// commitVA applies VC allocation grants.
+// commitVA applies VC allocation grants. Allocating an output VC shrinks
+// the candidate sets of every other VC waiting on that port, so the port's
+// whole waiter set is marked dirty (the grantee is in it until cleared).
 func (r *Router) commitVA() {
 	for i, g := range r.vaGranted {
 		if g < 0 {
 			continue
 		}
-		ivc := &r.in[i]
-		if ivc.state != vcWaitVA {
-			panic(fmt.Sprintf("router %d: VA grant to VC %d in state %d", r.cfg.ID, i, ivc.state))
+		if r.state[i] != vcWaitVA {
+			panic(fmt.Sprintf("router %d: VA grant to VC %d in state %d", r.cfg.ID, i, r.state[i]))
 		}
 		outPort, outVC := g/r.v, g%r.v
-		if outPort != ivc.outPort {
+		if int32(outPort) != r.outPort[i] {
 			panic(fmt.Sprintf("router %d: VA grant port mismatch", r.cfg.ID))
 		}
-		if r.out[g].allocated {
+		if r.outAlloc[outPort].Get(outVC) {
 			panic(fmt.Sprintf("router %d: VA granted busy output VC", r.cfg.ID))
 		}
-		r.out[g].allocated = true
-		ivc.outVC = outVC
-		ivc.state = vcActive
+		r.outAlloc[outPort].Set(outVC)
+		r.outOwner[g] = int32(i)
+		r.outVC[i] = int32(outVC)
+		r.state[i] = vcActive
+		r.dirty.Or(r.waiters[outPort])
+		r.waiters[outPort].Clear(i)
 		if r.cfg.Trace != nil {
+			f := r.front(i)
 			r.cfg.Trace.Record(trace.Event{Kind: trace.VAGrant, Router: r.cfg.ID,
 				Port: i / r.v, VC: i % r.v, OutPort: outPort, OutVC: outVC,
-				Packet: ivc.front().Pkt.ID, Seq: ivc.front().Seq})
+				Packet: f.Pkt.ID, Seq: f.Seq})
 		}
 	}
 }
@@ -457,71 +593,86 @@ func (r *Router) commitVA() {
 // flits leave their input buffers, consume a downstream credit and return
 // an upstream credit. Speculative grants are validated against this cycle's
 // VC allocation outcome and downstream credit availability; failed
-// speculation simply wastes the crossbar slot (§5.2).
+// speculation simply wastes the crossbar slot (§5.2). Every pop dirties its
+// own VC (occupancy, credits and possibly state changed); a departing tail
+// frees the output VC, which re-enlarges the candidate sets of that port's
+// waiters, so they are dirtied too.
 func (r *Router) commitSA(grants []core.SwitchGrant) {
 	for port, g := range grants {
 		if g.OutPort < 0 {
 			continue
 		}
 		i := port*r.v + g.VC
-		ivc := &r.in[i]
 		if g.Spec {
 			// Misspeculation: the head flit failed to acquire an output VC
 			// this cycle, so the crossbar slot is wasted.
 			if r.vaGranted[i] < 0 {
 				r.stats.Misspeculations++
-				r.traceMisspec(port, g.VC, ivc)
+				r.traceMisspec(port, g.VC, i)
 				continue
 			}
 			// The output VC was assigned this very cycle; it must also have
 			// a credit for the flit to proceed.
-			if r.out[ivc.outPort*r.v+ivc.outVC].credits <= 0 {
+			if r.outCredits[int(r.outPort[i])*r.v+int(r.outVC[i])] <= 0 {
 				r.stats.Misspeculations++
-				r.traceMisspec(port, g.VC, ivc)
+				r.traceMisspec(port, g.VC, i)
 				continue
 			}
 			r.stats.SpecGrantsUsed++
 		}
-		if ivc.count == 0 || ivc.state != vcActive {
+		if r.count[i] == 0 || r.state[i] != vcActive {
 			panic(fmt.Sprintf("router %d: switch grant to empty/idle VC %d", r.cfg.ID, i))
 		}
-		f := ivc.pop()
-		if ivc.count == 0 {
+		base := i * r.depth
+		h := int(r.head[i])
+		f := r.fifo[base+h]
+		r.fifo[base+h] = nil
+		if h++; h == r.depth {
+			h = 0
+		}
+		r.head[i] = int32(h)
+		r.count[i]--
+		r.dirty.Set(i)
+		if r.count[i] == 0 {
 			r.occupied--
 		}
 		r.stats.FlitsRouted++
 		if f.Head {
 			f.Pkt.Hops++
 		}
-		ovcIdx := ivc.outPort*r.v + ivc.outVC
-		r.out[ovcIdx].credits--
-		if r.out[ovcIdx].credits < 0 {
+		op, ov := int(r.outPort[i]), int(r.outVC[i])
+		ovcIdx := op*r.v + ov
+		r.outCredits[ovcIdx]--
+		if r.outCredits[ovcIdx] < 0 {
 			panic(fmt.Sprintf("router %d: credit underflow at output VC %d", r.cfg.ID, ovcIdx))
 		}
-		r.deps = append(r.deps, Departure{OutPort: ivc.outPort, OutVC: ivc.outVC, Flit: f})
+		r.deps = append(r.deps, Departure{OutPort: op, OutVC: ov, Flit: f})
 		r.credits = append(r.credits, Credit{InPort: port, InVC: g.VC})
 		if r.cfg.Trace != nil {
 			r.cfg.Trace.Record(trace.Event{Kind: trace.SAGrant, Router: r.cfg.ID,
-				Port: port, VC: g.VC, OutPort: ivc.outPort, OutVC: ivc.outVC,
+				Port: port, VC: g.VC, OutPort: op, OutVC: ov,
 				Packet: f.Pkt.ID, Seq: f.Seq, Spec: g.Spec})
 		}
 		if f.Tail {
-			r.out[ovcIdx].allocated = false
-			ivc.state = vcIdle
+			r.outAlloc[op].Clear(ov)
+			r.outOwner[ovcIdx] = -1
+			r.state[i] = vcIdle
+			r.dirty.Or(r.waiters[op])
 		}
 	}
 }
 
 // traceMisspec records a wasted speculative grant.
-func (r *Router) traceMisspec(port, vc int, ivc *inputVC) {
+func (r *Router) traceMisspec(port, vc, i int) {
 	if r.cfg.Trace == nil {
 		return
 	}
 	e := trace.Event{Kind: trace.Misspec, Router: r.cfg.ID, Port: port, VC: vc,
-		OutPort: ivc.outPort, OutVC: -1, Packet: -1, Seq: -1}
-	if ivc.count > 0 {
-		e.Packet = ivc.front().Pkt.ID
-		e.Seq = ivc.front().Seq
+		OutPort: int(r.outPort[i]), OutVC: -1, Packet: -1, Seq: -1}
+	if r.count[i] > 0 {
+		f := r.front(i)
+		e.Packet = f.Pkt.ID
+		e.Seq = f.Seq
 	}
 	r.cfg.Trace.Record(e)
 }

@@ -146,7 +146,7 @@ func TestSteadyStateStepAllocs(t *testing.T) {
 	if avg := testing.AllocsPerRun(2000, func() { n.stepCycle() }); avg >= 1 {
 		t.Fatalf("steady-state stepCycle allocates %.1f objects/cycle, want amortized zero", avg)
 	}
-	if len(n.shards[0].flitPool) == 0 && len(n.shards[0].pktPool) == 0 {
+	if n.shards[0].flitPool.free() == 0 && n.shards[0].pktPool.free() == 0 {
 		t.Fatal("free lists never populated; recycling path is dead")
 	}
 }

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+)
+
+// TestDenseRequestsGolden is the core contract of the change-driven request
+// cache: rebuilding only dirty VCs' VA/SA request entries must reproduce the
+// dense per-cycle rebuild bit for bit — same grants, same packet IDs, same
+// floating-point latency sums — at seed 42 on both paper topologies and all
+// three speculation modes, composed with the active-set scheduler and both
+// shard counts. Validate is on for the change-driven runs, so every cycle
+// also cross-checks the cached request vectors against a dense rebuild
+// inside the router; under `go test -race` (CI does) this doubles as the
+// data-race certification of the dirty-mask bookkeeping.
+func TestDenseRequestsGolden(t *testing.T) {
+	for _, mk := range []func(int, float64) Config{meshConfig, fbflyConfig} {
+		for _, mode := range []core.SpecMode{core.SpecNone, core.SpecGnt, core.SpecReq} {
+			base := mk(2, 0.3)
+			base.Seed = 42
+			base.SA.SpecMode = mode
+			base.Warmup, base.Measure, base.Drain = 200, 500, 5000
+			ref := base
+			ref.DenseRequests = true
+			want := New(ref).Run()
+			for _, shards := range []int{1, 4} {
+				cfg := base
+				cfg.Shards = shards
+				cfg.Validate = true
+				if got := New(cfg).Run(); got != want {
+					t.Errorf("%s %v shards=%d: change-driven requests diverged from dense rebuild:\ndense: %+v\ndirty: %+v",
+						base.Topology.Name, mode, shards, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestDenseRequestsComposesWithVariants pins the cache's bit-exactness for
+// the allocator variants with cross-cycle request-derived state — the
+// free-queue VC allocator re-infers freed VCs from the candidate vectors it
+// is shown, and the precomputed switch allocator latches a full request
+// snapshot — plus the wavefront architectures whose engines keep dirty-row
+// scratch between calls.
+func TestDenseRequestsComposesWithVariants(t *testing.T) {
+	variants := []struct {
+		name string
+		set  func(*Config)
+	}{
+		{"freequeue", func(c *Config) { c.VA.FreeQueue = true }},
+		{"precomputed", func(c *Config) {
+			c.SA.Precomputed = true
+			c.SA.SpecMode = core.SpecNone
+		}},
+		{"wavefront", func(c *Config) {
+			c.VA.Arch = alloc.Wavefront
+			c.SA.Arch = alloc.Wavefront
+		}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			base := meshConfig(2, 0.3)
+			base.Seed = 42
+			base.Warmup, base.Measure, base.Drain = 200, 400, 4000
+			v.set(&base)
+			ref := base
+			ref.DenseRequests = true
+			want := New(ref).Run()
+			cfg := base
+			cfg.Validate = true
+			if got := New(cfg).Run(); got != want {
+				t.Errorf("%s: change-driven requests diverged from dense rebuild:\ndense: %+v\ndirty: %+v",
+					v.name, want, got)
+			}
+		})
+	}
+}

@@ -54,12 +54,13 @@ type shard struct {
 	// scheduler uses it to replay skipped idle cycles into the allocators.
 	lastStep []int64
 
-	// Free lists recycle flit and packet objects. A flit is drawn at its
-	// source terminal's shard and recycled at its destination's, so objects
-	// migrate between pools, but each pool is only touched by its own shard
-	// in phase 1 and by the single-threaded commit in phase 2.
-	flitPool []*router.Flit
-	pktPool  []*router.Packet
+	// Free lists recycle flit and packet objects, with burst decay (see
+	// pool.go). A flit is drawn at its source terminal's shard and recycled
+	// at its destination's, so objects migrate between pools, but each pool
+	// is only touched by its own shard in phase 1 and by the single-threaded
+	// commit in phase 2.
+	flitPool pool[*router.Flit]
+	pktPool  pool[*router.Packet]
 
 	// newPkts are the requests created this cycle, in terminal order,
 	// awaiting ID assignment at commit (sharded mode only; serial mode
@@ -126,7 +127,13 @@ func (s *shard) slotFor(delay int64) int64 {
 	if delay < 1 || delay >= n.wheelSize {
 		panic(fmt.Sprintf("sim: bad event delay %d (wheel size %d)", delay, n.wheelSize))
 	}
-	return (n.now + delay) % n.wheelSize
+	// nowSlot < wheelSize and delay < wheelSize, so one conditional
+	// subtract replaces the modulo on this per-event path.
+	slot := n.nowSlot + delay
+	if slot >= n.wheelSize {
+		slot -= n.wheelSize
+	}
+	return slot
 }
 
 // scheduleLocal inserts an event for an entity owned by this shard. All
@@ -154,7 +161,7 @@ func (s *shard) scheduleRouter(delay int64, e event) {
 // routing and config structures.
 func (s *shard) phase1() {
 	n := s.net
-	slot := n.now % n.wheelSize
+	slot := n.nowSlot
 	evs := s.wheel[slot]
 	for i := range evs {
 		e := &evs[i]
@@ -170,6 +177,8 @@ func (s *shard) phase1() {
 		}
 	}
 	s.recycleSlot(slot, len(evs))
+	s.flitPool.trim()
+	s.pktPool.trim()
 
 	if n.cfg.Dense {
 		for t := s.t0; t < s.t1; t++ {
@@ -248,11 +257,8 @@ func (s *shard) flitDelivered() {
 // initializes its fields. ID assignment and measurement accounting are the
 // caller's responsibility.
 func (s *shard) allocPacket(t traffic.PacketType, src, dst int, createdAt int64) *router.Packet {
-	var p *router.Packet
-	if k := len(s.pktPool); k > 0 {
-		p = s.pktPool[k-1]
-		s.pktPool = s.pktPool[:k-1]
-	} else {
+	p, ok := s.pktPool.get()
+	if !ok {
 		p = new(router.Packet)
 	}
 	*p = router.Packet{
@@ -290,11 +296,8 @@ func (s *shard) newRequest(t traffic.PacketType, src, dst int, createdAt int64) 
 func (s *shard) makeFlits(p *router.Packet, buf []*router.Flit) []*router.Flit {
 	buf = buf[:0]
 	for i := 0; i < p.Size; i++ {
-		var f *router.Flit
-		if k := len(s.flitPool); k > 0 {
-			f = s.flitPool[k-1]
-			s.flitPool = s.flitPool[:k-1]
-		} else {
+		f, ok := s.flitPool.get()
+		if !ok {
 			f = new(router.Flit)
 		}
 		f.Pkt, f.Seq, f.Head, f.Tail = p, i, i == 0, i == p.Size-1
@@ -306,7 +309,7 @@ func (s *shard) makeFlits(p *router.Packet, buf []*router.Flit) []*router.Flit {
 // recycleFlit returns an ejected flit to the shard's free list.
 func (s *shard) recycleFlit(f *router.Flit) {
 	f.Pkt = nil
-	s.flitPool = append(s.flitPool, f)
+	s.flitPool.put(f)
 }
 
 // mergeAndCommit is phase 2 of a cycle: single-threaded, it moves
@@ -371,7 +374,7 @@ func (n *Network) commitDelivery(s *shard, d delivery) {
 		}
 		n.terminals[d.terminal].replyQ.push(reply)
 	}
-	s.pktPool = append(s.pktPool, p)
+	s.pktPool.put(p)
 }
 
 // --- worker pool ---------------------------------------------------------------

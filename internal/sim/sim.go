@@ -74,6 +74,12 @@ type Config struct {
 	// terminal every cycle. Results are bit-identical either way; the dense
 	// stepper is kept as the golden reference for that equivalence.
 	Dense bool
+	// DenseRequests disables the routers' change-driven request caching:
+	// every stepped router rebuilds all VA/SA requests from scratch each
+	// cycle. Results are bit-identical either way; the dense rebuild is
+	// kept as the golden reference for that equivalence (it is a separate
+	// axis from Dense, which governs which routers are stepped at all).
+	DenseRequests bool
 }
 
 func (c *Config) applyDefaults() {
@@ -160,6 +166,9 @@ type Network struct {
 	routers   []*router.Router
 	terminals []*terminal
 	now       int64
+	// nowSlot tracks now % wheelSize incrementally, so the per-event wheel
+	// indexing in slotFor/phase1 never pays a hardware divide.
+	nowSlot int64
 
 	// shards partition the routers and terminals; shardOfRouter maps a
 	// router id to its owner. The serial stepper is the one-shard case.
@@ -238,6 +247,7 @@ func New(cfg Config) *Network {
 			rcfg.Trace = cfg.Trace
 		}
 		rcfg.Validate = cfg.Validate
+		rcfg.DenseRequests = cfg.DenseRequests
 		n.routers = append(n.routers, router.New(rcfg))
 	}
 	for t := 0; t < cfg.Topology.Terminals(); t++ {
@@ -327,6 +337,9 @@ func (n *Network) stepCycle() {
 	}
 	n.mergeAndCommit()
 	n.now++
+	if n.nowSlot++; n.nowSlot == n.wheelSize {
+		n.nowSlot = 0
+	}
 }
 
 // Run executes warmup, measurement and drain and returns the result.
