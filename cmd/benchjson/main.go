@@ -55,17 +55,74 @@ type netPoint struct {
 	Name           string  `json:"name"`
 	Rate           float64 `json:"rate"`
 	Dense          bool    `json:"dense"`
+	Leap           bool    `json:"leap"`
 	Shards         int     `json:"shards"`
 	Iters          int     `json:"iters"`
 	NsPerOp        float64 `json:"ns_per_op"`
 	Cycles         int64   `json:"cycles_per_op"`
 	CyclesPerSec   float64 `json:"cycles_per_sec"`
 	FlitsDelivered int64   `json:"flits_delivered_per_op"`
+	// LeapEvents and CyclesLeapt average the leap gate's firings and the
+	// cycles it skipped per run (zero with Leap off).
+	LeapEvents  int64 `json:"leap_events_per_op,omitempty"`
+	CyclesLeapt int64 `json:"cycles_leapt_per_op,omitempty"`
+}
+
+// multicoreRun is one gomaxprocs setting's shard-scaling sweep. On a 1-CPU
+// host (see env.num_cpu) the runs are timesliced, not parallel — the
+// numbers then measure scheduling overhead, not speedup; EXPERIMENTS.md
+// documents the harness for reproducing the curve on a multicore box.
+type multicoreRun struct {
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Points     []netPoint `json:"points"`
 }
 
 type netReport struct {
 	env
 	Points []netPoint `json:"points"`
+	// Multicore holds gomaxprocs>1 shard-scaling measurements.
+	Multicore []multicoreRun `json:"multicore,omitempty"`
+}
+
+// runNetPoint times iters runs of one configuration. Only Run() is on the
+// clock: network construction costs ~1.5 ms regardless of configuration,
+// which on short low-rate points would dilute every stepper-level ratio
+// the snapshot exists to track.
+func runNetPoint(name string, pt experiments.Point, rate float64, shards int, dense, leap bool, iters int) netPoint {
+	cfg := experiments.BuildSim(pt, rate, experiments.SimScale{
+		Warmup: 500, Measure: 1500, Drain: 8000, Seed: 42, Shards: shards, Dense: dense, Leap: leap,
+	})
+	var cycles, flits, leaps, leapt int64
+	var elapsed time.Duration
+	for i := 0; i < iters; i++ {
+		n := sim.New(cfg)
+		start := time.Now()
+		res := n.Run()
+		elapsed += time.Since(start)
+		if res.FlitsDelivered == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: no traffic moved at rate %g\n", rate)
+			os.Exit(1)
+		}
+		cycles += res.Cycles
+		flits += res.FlitsDelivered
+		ev, cy := n.LeapStats()
+		leaps += ev
+		leapt += cy
+	}
+	return netPoint{
+		Name:           name,
+		Rate:           rate,
+		Dense:          dense,
+		Leap:           leap,
+		Shards:         shards,
+		Iters:          iters,
+		NsPerOp:        float64(elapsed.Nanoseconds()) / float64(iters),
+		Cycles:         cycles / int64(iters),
+		CyclesPerSec:   float64(cycles) / elapsed.Seconds(),
+		FlitsDelivered: flits / int64(iters),
+		LeapEvents:     leaps / int64(iters),
+		CyclesLeapt:    leapt / int64(iters),
+	}
 }
 
 func netBench(iters int) netReport {
@@ -75,46 +132,49 @@ func netBench(iters int) netReport {
 		os.Exit(1)
 	}
 	rep := netReport{env: newEnv()}
-	for _, rate := range []float64{0.05, 0.30} {
-		for _, dense := range []bool{false, true} {
+	// 0.0005 is the drain-dominated point: across 64 terminals the aggregate
+	// arrival gaps dwarf a transaction's round trip, so the network is fully
+	// idle most cycles and the leap gate carries the run.
+	for _, rate := range []float64{0.0005, 0.005, 0.05, 0.30} {
+		for _, sched := range []string{"dense", "active", "leap"} {
 			for _, shards := range []int{1, 2, 4} {
-				if dense && shards != 1 {
+				if sched == "dense" && shards != 1 {
 					continue // the dense × sharded cross is covered by tests, not tracked perf
 				}
-				cfg := experiments.BuildSim(pt, rate, experiments.SimScale{
-					Warmup: 500, Measure: 1500, Drain: 8000, Seed: 42, Shards: shards, Dense: dense,
-				})
-				var cycles, flits int64
-				start := time.Now()
-				for i := 0; i < iters; i++ {
-					res := sim.New(cfg).Run()
-					if res.FlitsDelivered == 0 {
-						fmt.Fprintf(os.Stderr, "benchjson: no traffic moved at rate %.2f\n", rate)
-						os.Exit(1)
-					}
-					cycles += res.Cycles
-					flits += res.FlitsDelivered
-				}
-				elapsed := time.Since(start)
-				sched := "active"
-				if dense {
-					sched = "dense"
-				}
-				rep.Points = append(rep.Points, netPoint{
-					Name:           fmt.Sprintf("mesh_2x1x1/rate=%.2f/%s/shards=%d", rate, sched, shards),
-					Rate:           rate,
-					Dense:          dense,
-					Shards:         shards,
-					Iters:          iters,
-					NsPerOp:        float64(elapsed.Nanoseconds()) / float64(iters),
-					Cycles:         cycles / int64(iters),
-					CyclesPerSec:   float64(cycles) / elapsed.Seconds(),
-					FlitsDelivered: flits / int64(iters),
-				})
+				name := fmt.Sprintf("mesh_2x1x1/rate=%g/%s/shards=%d", rate, sched, shards)
+				rep.Points = append(rep.Points,
+					runNetPoint(name, pt, rate, shards, sched == "dense", sched == "leap", iters))
 			}
 		}
 	}
+	rep.Multicore = multicoreBench(pt, iters)
 	return rep
+}
+
+// multicoreBench sweeps shard counts under gomaxprocs > 1 at the
+// near-saturation rate, where the sharded stepper has actual parallel work
+// per cycle. GOMAXPROCS is set process-wide for each sweep and restored
+// afterwards; on hosts with fewer physical CPUs the sweep still runs (Go
+// timeslices the workers) so the snapshot stays comparable, but only a
+// num_cpu >= gomaxprocs host measures real scaling.
+func multicoreBench(pt experiments.Point, iters int) []multicoreRun {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	vals := []int{2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		vals = append(vals, n)
+	}
+	var runs []multicoreRun
+	for _, gmp := range vals {
+		runtime.GOMAXPROCS(gmp)
+		run := multicoreRun{GoMaxProcs: gmp}
+		for _, shards := range []int{1, 2, 4, 8, 16} {
+			name := fmt.Sprintf("mesh_2x1x1/gomaxprocs=%d/rate=0.3/leap/shards=%d", gmp, shards)
+			run.Points = append(run.Points, runNetPoint(name, pt, 0.30, shards, false, true, iters))
+		}
+		runs = append(runs, run)
+	}
+	return runs
 }
 
 // allocPoint is one timed allocator microbenchmark: `Cycles` Allocate (or

@@ -35,6 +35,7 @@ func main() {
 	shards := flag.Int("shards", 0, "parallel shards within each simulation (0 = auto: split cores not used by -workers; results are bit-identical for any value)")
 	dense := flag.Bool("dense", false, "step every router every cycle (reference scheduler; slower, bit-identical)")
 	denseRequests := flag.Bool("denserequests", false, "rebuild every VA/switch request every cycle (reference request path; slower, bit-identical)")
+	leap := flag.Bool("leap", true, "leap over provably idle cycles (-leap=false keeps the per-cycle slow twin; results are bit-identical either way)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -50,7 +51,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	scale := experiments.SimScale{Warmup: *warmup, Measure: *measure, Drain: *drain, Seed: *seed, Workers: *workers, Shards: *shards, Dense: *dense, DenseRequests: *denseRequests}
+	scale := experiments.SimScale{Warmup: *warmup, Measure: *measure, Drain: *drain, Seed: *seed, Workers: *workers, Shards: *shards, Dense: *dense, DenseRequests: *denseRequests, Leap: *leap}
 	rates := experiments.InjectionRates(pt)
 
 	header := func(format string, args ...any) {

@@ -27,6 +27,7 @@ func main() {
 	shards := flag.Int("shards", 0, "parallel shards within each simulation (0 = serial stepping; results are bit-identical for any value)")
 	dense := flag.Bool("dense", false, "step every router every cycle (reference scheduler; slower, bit-identical)")
 	denseRequests := flag.Bool("denserequests", false, "rebuild every VA/switch request every cycle (reference request path; slower, bit-identical)")
+	leap := flag.Bool("leap", true, "leap over provably idle cycles (-leap=false keeps the per-cycle slow twin; results are bit-identical either way)")
 	only := flag.String("only", "", "restrict to one experiment: fig4, fig5, fig6, fig7, fig10, fig11, fig12, fig13, fig14, vasweep, summary")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -47,6 +48,7 @@ func main() {
 	scale.Shards = *shards
 	scale.Dense = *dense
 	scale.DenseRequests = *denseRequests
+	scale.Leap = *leap
 
 	want := func(name string) bool { return *only == "" || *only == name }
 	tech := costmodel.Default45nm()

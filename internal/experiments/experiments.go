@@ -269,10 +269,16 @@ type SimScale struct {
 	// (sim.Config.DenseRequests); an independent axis from Dense, likewise
 	// bit-identical and slower, kept as the golden reference path.
 	DenseRequests bool
+	// Leap enables the simulator's event-leaping fast path
+	// (sim.Config.Leap): provably idle stretches are jumped instead of
+	// ticked. Bit-identical either way; DefaultScale turns it on.
+	Leap bool
 }
 
 // DefaultScale is sized for the cmd-line tools.
-func DefaultScale() SimScale { return SimScale{Warmup: 3000, Measure: 6000, Drain: 20000, Seed: 42} }
+func DefaultScale() SimScale {
+	return SimScale{Warmup: 3000, Measure: 6000, Drain: 20000, Seed: 42, Leap: true}
+}
 
 // NetPoint is one latency/throughput sample.
 type NetPoint struct {
@@ -345,6 +351,7 @@ func BuildSim(pt Point, rate float64, scale SimScale) sim.Config {
 		Shards:        scale.Shards,
 		Dense:         scale.Dense,
 		DenseRequests: scale.DenseRequests,
+		Leap:          scale.Leap,
 	}
 	switch pt.Topo {
 	case "mesh":

@@ -487,3 +487,33 @@ func TestPatternSweepAutoShardsMatchesSerial(t *testing.T) {
 		t.Fatalf("auto-sharded pattern sweep diverged from serial:\nserial: %+v\nauto:   %+v", serial, got)
 	}
 }
+
+// TestLeapInvarianceFig13 pins the Fig. 13/14 pipeline end to end across
+// the event-leaping axis: SimScale.Leap (the cmd-tool default) must produce
+// series bit-identical to the per-cycle stepper, including a drain-heavy
+// low-rate point where leaping actually skips most cycles, composed with
+// intra-run sharding.
+func TestLeapInvarianceFig13(t *testing.T) {
+	rates := []float64{0.005, 0.2}
+	ticked := SimScale{Warmup: 300, Measure: 600, Drain: 4000, Seed: 42, Workers: runtime.NumCPU()}
+	leaped := ticked
+	leaped.Leap = true
+	for _, topo := range []string{"mesh", "fbfly"} {
+		pt, err := PointByName(topo, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{0, 4} {
+			a := ticked
+			a.Shards = shards
+			b := leaped
+			b.Shards = shards
+			ta := Fig13(pt, rates, a)
+			tb := Fig13(pt, rates, b)
+			if !reflect.DeepEqual(ta, tb) {
+				t.Errorf("%s shards=%d: leaped Fig13 series diverged from ticked\nticked: %+v\nleaped: %+v",
+					topo, shards, ta, tb)
+			}
+		}
+	}
+}

@@ -23,14 +23,21 @@ func benchNetworkShards(b *testing.B, rate float64, dense bool, shards int) {
 }
 
 func benchNetworkSpec(b *testing.B, rate float64, dense bool, shards int, spec core.SpecMode) {
+	benchNetworkCfg(b, rate, func(cfg *Config) {
+		cfg.Dense = dense
+		cfg.Shards = shards
+		cfg.SA.SpecMode = spec
+	})
+}
+
+func benchNetworkCfg(b *testing.B, rate float64, mut func(*Config)) {
 	b.ReportAllocs()
 	var cycles int64
 	for i := 0; i < b.N; i++ {
 		cfg := meshConfig(1, rate)
 		cfg.Seed = 42
-		cfg.Dense = dense
-		cfg.Shards = shards
-		cfg.SA.SpecMode = spec
+		cfg.SA.SpecMode = core.SpecReq
+		mut(&cfg)
 		res := New(cfg).Run()
 		if res.FlitsDelivered == 0 {
 			b.Fatal("no traffic moved")
@@ -54,14 +61,32 @@ func BenchmarkNetworkNearSaturation(b *testing.B) {
 	b.Run("dense", func(b *testing.B) { benchNetwork(b, 0.30, true) })
 }
 
+// BenchmarkNetworkLeap compares the event-leaping fast path against ticked
+// active-set stepping at drain-dominated rates, where long fully-idle
+// stretches separate transactions. Results are bit-identical either way
+// (TestLeapGolden); only wall-clock differs.
+func BenchmarkNetworkLeap(b *testing.B) {
+	for _, rate := range []float64{0.0005, 0.005} {
+		for _, leap := range []bool{false, true} {
+			name := fmt.Sprintf("rate=%g/leap=%t", rate, leap)
+			b.Run(name, func(b *testing.B) {
+				benchNetworkCfg(b, rate, func(cfg *Config) { cfg.Leap = leap })
+			})
+		}
+	}
+}
+
 // BenchmarkNetworkSharded measures the sharded stepper at the
 // near-saturation point, where intra-run parallelism is the only speedup
 // left (the active-set scheduler skips almost nothing there). shards=1
 // bounds the restructuring overhead of the two-phase cycle itself; higher
 // counts scale with available cores and degrade only by the per-cycle
-// barrier cost when cores are scarce.
+// barrier cost when cores are scarce. The 8- and 16-shard points exist to
+// profile the serial commit barrier (run with -blockprofile/-mutexprofile);
+// on the Fig.13 mesh they oversubscribe most hosts and are expected to
+// regress wall-clock there.
 func BenchmarkNetworkSharded(b *testing.B) {
-	for _, s := range []int{1, 2, 4} {
+	for _, s := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) {
 			benchNetworkShards(b, 0.30, false, s)
 		})

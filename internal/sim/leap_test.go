@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+)
+
+// TestLeapGolden is the core contract of event leaping: jumping the clock
+// over provably idle stretches must reproduce the per-cycle stepper bit for
+// bit — same grants, same packet IDs, same floating-point latency sums — at
+// seed 42 on both paper topologies, all three speculation modes and both
+// shard counts, against both the dense reference schedule and the ticked
+// active-set schedule. The low-rate points are where leaping actually
+// engages (the network is fully idle between transactions); the fbfly ones
+// further pin the presample rewind path, because UGAL draws routing
+// randomness from the terminal's stream when a reply wakes it before its
+// presampled arrival. Validate is on for the leap runs, so every leap also
+// cross-checks the occupancy bitmask and the skipped span (validateLeap).
+func TestLeapGolden(t *testing.T) {
+	for _, mk := range []func(int, float64) Config{meshConfig, fbflyConfig} {
+		for _, mode := range []core.SpecMode{core.SpecNone, core.SpecGnt, core.SpecReq} {
+			for _, rate := range []float64{0.3, 0.002} {
+				base := mk(2, rate)
+				base.Seed = 42
+				base.SA.SpecMode = mode
+				base.Warmup, base.Measure, base.Drain = 200, 500, 5000
+				ref := base
+				ref.Dense = true
+				want := New(ref).Run()
+				for _, shards := range []int{1, 4} {
+					ticked := base
+					ticked.Shards = shards
+					if got := New(ticked).Run(); got != want {
+						t.Errorf("%s %v rate=%g shards=%d: ticked active-set diverged from dense:\ndense:  %+v\nticked: %+v",
+							base.Topology.Name, mode, rate, shards, want, got)
+					}
+					leap := base
+					leap.Shards = shards
+					leap.Leap = true
+					leap.Validate = true
+					n := New(leap)
+					if got := n.Run(); got != want {
+						t.Errorf("%s %v rate=%g shards=%d: leaped run diverged from dense:\ndense: %+v\nleap:  %+v",
+							base.Topology.Name, mode, rate, shards, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLeapEngages guards against the golden equivalence passing vacuously:
+// at a drain-dominated low rate the leap gate must actually fire and skip
+// the bulk of the simulated cycles.
+func TestLeapEngages(t *testing.T) {
+	cfg := meshConfig(2, 0.001)
+	cfg.Seed = 42
+	cfg.Warmup, cfg.Measure, cfg.Drain = 200, 500, 5000
+	cfg.Leap = true
+	cfg.Validate = true
+	n := New(cfg)
+	res := n.Run()
+	events, cycles := n.LeapStats()
+	if events == 0 {
+		t.Fatal("leap gate never fired at rate 0.001")
+	}
+	if cycles*2 < res.Cycles {
+		t.Errorf("leapt only %d of %d cycles; want the majority at rate 0.001", cycles, res.Cycles)
+	}
+	if res.MeasuredPackets == 0 {
+		t.Error("no measured packets; the run exercised nothing")
+	}
+}
+
+// TestLeapComposesWithVariants pins leap bit-exactness for the allocator
+// variants with cross-cycle idle-priority state — wavefront's SkipIdle is a
+// modular priority advance, the free-queue VC allocator re-infers state
+// from request vectors, and the precomputed switch allocator latches a
+// request snapshot — exactly the machinery a multi-thousand-cycle leap
+// must compose with through the existing lastStep wake-up replay.
+func TestLeapComposesWithVariants(t *testing.T) {
+	variants := []struct {
+		name string
+		set  func(*Config)
+	}{
+		{"freequeue", func(c *Config) { c.VA.FreeQueue = true }},
+		{"precomputed", func(c *Config) {
+			c.SA.Precomputed = true
+			c.SA.SpecMode = core.SpecNone
+		}},
+		{"wavefront", func(c *Config) {
+			c.VA.Arch = alloc.Wavefront
+			c.SA.Arch = alloc.Wavefront
+		}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			for _, rate := range []float64{0.3, 0.002} {
+				base := meshConfig(2, rate)
+				base.Seed = 42
+				base.Warmup, base.Measure, base.Drain = 200, 400, 4000
+				v.set(&base)
+				ref := base
+				ref.Dense = true
+				want := New(ref).Run()
+				cfg := base
+				cfg.Leap = true
+				cfg.Validate = true
+				if got := New(cfg).Run(); got != want {
+					t.Errorf("%s rate=%g: leaped run diverged from dense:\ndense: %+v\nleap:  %+v",
+						v.name, rate, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestLeapTorusGolden extends the golden matrix to the torus dateline
+// extension (distinct resource-class structure and routing).
+func TestLeapTorusGolden(t *testing.T) {
+	base := torusConfig(2, 0.002)
+	base.Seed = 42
+	base.Warmup, base.Measure, base.Drain = 200, 500, 5000
+	ref := base
+	ref.Dense = true
+	want := New(ref).Run()
+	for _, shards := range []int{1, 4} {
+		cfg := base
+		cfg.Shards = shards
+		cfg.Leap = true
+		cfg.Validate = true
+		if got := New(cfg).Run(); got != want {
+			t.Errorf("torus shards=%d: leaped run diverged from dense:\ndense: %+v\nleap:  %+v",
+				shards, want, got)
+		}
+	}
+}
+
+// TestLeapRateChangeRewind pins the presample invalidation on
+// SetInjectionRate: the already-elapsed cycles must be replayed at the old
+// rate and the new rate take effect at the current cycle, exactly as
+// per-cycle ticking would have it. The two networks are stepped manually
+// (no leaping), so this isolates the presample/rewind bookkeeping itself.
+func TestLeapRateChangeRewind(t *testing.T) {
+	mk := func(leap bool) *Network {
+		cfg := meshConfig(2, 0.05)
+		cfg.Seed = 42
+		cfg.Leap = leap
+		return New(cfg)
+	}
+	a, b := mk(true), mk(false)
+	step := func(n *Network, cycles int) {
+		for i := 0; i < cycles; i++ {
+			n.stepCycle()
+		}
+	}
+	for phase, rate := range []float64{0.2, 0, 0.1} {
+		step(a, 150)
+		step(b, 150)
+		a.SetInjectionRate(rate)
+		b.SetInjectionRate(rate)
+		if as, bs := a.SentFlits(), b.SentFlits(); as != bs {
+			t.Fatalf("phase %d: presampling run sent %d flits, per-cycle run %d", phase, as, bs)
+		}
+	}
+	step(a, 300)
+	step(b, 300)
+	ac, ad := a.Conservation()
+	bc, bd := b.Conservation()
+	if ac != bc || ad != bd {
+		t.Errorf("after rate changes: presampling (created %d delivered %d) != per-cycle (created %d delivered %d)",
+			ac, ad, bc, bd)
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime/debug"
 
 	"repro/internal/router"
@@ -14,13 +15,21 @@ import (
 // router, so injection, ejection and UGAL's occupancy reads stay
 // shard-local), and every simulation cycle runs in two phases:
 //
-//  1. All shards concurrently deliver the cycle's events from their own
-//     timing wheels and step their terminals and routers. Events for
-//     entities owned by another shard — only inter-router channel flits and
-//     credits ever are — go to a per-shard outbox instead of a wheel.
-//  2. A single-threaded merge commits the outboxes into the destination
-//     shards' wheels in (source shard, emission) order, then commits the
-//     cycle's packet births and deliveries in destination-terminal order.
+//  1. All shards concurrently import the cross-shard events published for
+//     them last cycle into their own timing wheels, deliver the cycle's due
+//     events, and step their terminals and routers. Events for entities
+//     owned by another shard — only inter-router channel flits and credits
+//     ever are — go to a per-destination outbox instead of a wheel.
+//  2. A single-threaded merge publishes the outboxes (a buffer swap; the
+//     copying itself happens in the destinations' next phase 1, in
+//     parallel), then commits the cycle's packet births and deliveries in
+//     destination-terminal order.
+//
+// Cross-shard events are emitted with a delay of at least 2 cycles (channel
+// traversal is 2+latency), so deferring their wheel insertion to the start
+// of the next cycle's phase 1 never misses a due slot, and each importer
+// scanning source shards in index order reproduces the (source shard,
+// emission) append order a serial merge would have used.
 //
 // Phase 2 is what makes results bit-identical for any shard count: within
 // one cycle every per-router and per-terminal mutation in phase 1 is
@@ -42,13 +51,21 @@ type shard struct {
 	// wheel is the shard-local timing wheel; slot (now+delay)%wheelSize
 	// holds the events due at cycle now+delay for entities owned by this
 	// shard. slotLow counts consecutive drains that used far less than a
-	// slot's capacity, backing the shrink policy in recycleSlot.
+	// slot's capacity, backing the shrink policy in recycleSlot. occ is a
+	// bitmask over slots (bit set iff the slot holds events), giving the
+	// event-leaping gate an O(wheelSize/64) earliest-pending-event query
+	// (nextEventDelta).
 	wheel   [][]event
 	slotLow []int32
+	occ     []uint64
 
-	// outbox collects events emitted this cycle for routers owned by other
-	// shards; the merge phase moves them into the destination wheels.
-	outbox []outEvent
+	// outCur[d] collects events emitted this cycle for routers owned by
+	// shard d; outPrev[d] holds last cycle's batch, which shard d imports
+	// into its wheel at the start of its next phase 1. The commit phase
+	// only swaps the two buffer sets, so the actual event copying runs in
+	// the destinations' (parallel) phase 1 instead of the serial barrier.
+	outCur  [][]outEvent
+	outPrev [][]outEvent
 
 	// lastStep[r-r0] is the last cycle router r was stepped; the active-set
 	// scheduler uses it to replay skipped idle cycles into the allocators.
@@ -77,13 +94,21 @@ type shard struct {
 	created   int64
 	delivered int64
 	measFlits int64
+
+	// livePkts is this shard's net packet balance (allocated here minus
+	// retired here). A packet allocates at its source shard and retires at
+	// its destination's, so one shard's balance can go negative; the sum
+	// over shards is the number of packets anywhere in the network —
+	// queued, streaming, or in flight — and is the leap gate's O(shards)
+	// busy check (tryLeap).
+	livePkts int
 }
 
-// outEvent is a cross-shard event awaiting the merge phase.
+// outEvent is a cross-shard event awaiting import by its destination shard
+// (the destination is the outCur/outPrev index it is filed under).
 type outEvent struct {
-	shard int32
-	slot  int32
-	e     event
+	slot int32
+	e    event
 }
 
 // delivery records a packet completion awaiting the commit phase. At most
@@ -107,8 +132,11 @@ const (
 )
 
 // recycleSlot empties a drained wheel slot, shrinking persistently
-// oversized backing arrays.
+// oversized backing arrays. The slot's occupancy bit clears here and
+// nowhere else: slotFor rejects zero delays, so nothing can re-enter the
+// slot being drained within the same cycle.
 func (s *shard) recycleSlot(slot int64, used int) {
+	s.occ[slot>>6] &^= 1 << (uint(slot) & 63)
 	w := s.wheel[slot]
 	if c := cap(w); c > slotShrinkMin && used*4 < c {
 		if s.slotLow[slot]++; s.slotLow[slot] >= slotShrinkAfter {
@@ -136,23 +164,80 @@ func (s *shard) slotFor(delay int64) int64 {
 	return slot
 }
 
+// enqueue appends an event to a wheel slot and marks the slot occupied.
+func (s *shard) enqueue(slot int64, e event) {
+	s.wheel[slot] = append(s.wheel[slot], e)
+	s.occ[slot>>6] |= 1 << (uint(slot) & 63)
+}
+
 // scheduleLocal inserts an event for an entity owned by this shard. All
 // terminal-link events are local by construction (a terminal shares its
 // router's shard).
 func (s *shard) scheduleLocal(delay int64, e event) {
-	slot := s.slotFor(delay)
-	s.wheel[slot] = append(s.wheel[slot], e)
+	s.enqueue(s.slotFor(delay), e)
 }
 
 // scheduleRouter inserts an event destined for an arbitrary router,
-// diverting cross-shard events to the outbox.
+// diverting cross-shard events to the destination's outbox.
 func (s *shard) scheduleRouter(delay int64, e event) {
 	slot := s.slotFor(delay)
 	if d := s.net.shardOfRouter[e.router]; d != int32(s.id) {
-		s.outbox = append(s.outbox, outEvent{shard: d, slot: int32(slot), e: e})
+		s.outCur[d] = append(s.outCur[d], outEvent{slot: int32(slot), e: e})
 		return
 	}
-	s.wheel[slot] = append(s.wheel[slot], e)
+	s.enqueue(slot, e)
+}
+
+// importOutboxes moves the cross-shard events published for this shard last
+// cycle into its wheel. Scanning source shards in index order reproduces
+// the append order of a serial merge; the sources' outPrev buffers are
+// read-only during phase 1 (each source now appends to its outCur), so
+// concurrent importers never race.
+func (s *shard) importOutboxes() {
+	for _, src := range s.net.shards {
+		for _, oe := range src.outPrev[s.id] {
+			s.enqueue(int64(oe.slot), oe.e)
+		}
+	}
+}
+
+// outboxPending reports whether any shard has published events this shard
+// has not yet imported; the leap gate refuses to jump over them.
+func (s *shard) outboxPending() bool {
+	for _, src := range s.net.shards {
+		if len(src.outPrev[s.id]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// nextEventDelta returns the number of cycles until this shard's earliest
+// pending wheel event (0 = due this cycle), or -1 for an empty wheel, by
+// scanning the slot-occupancy bitmask from nowSlot with a wrap.
+func (s *shard) nextEventDelta() int64 {
+	n := s.net
+	nowSlot := n.nowSlot
+	w0 := int(nowSlot >> 6)
+	for wi := w0; wi < len(s.occ); wi++ {
+		w := s.occ[wi]
+		if wi == w0 {
+			w &= ^uint64(0) << (uint(nowSlot) & 63)
+		}
+		if w != 0 {
+			return int64(wi<<6+bits.TrailingZeros64(w)) - nowSlot
+		}
+	}
+	for wi := 0; wi <= w0; wi++ {
+		w := s.occ[wi]
+		if wi == w0 {
+			w &= 1<<(uint(nowSlot)&63) - 1
+		}
+		if w != 0 {
+			return int64(wi<<6+bits.TrailingZeros64(w)) + n.wheelSize - nowSlot
+		}
+	}
+	return -1
 }
 
 // phase1 advances this shard by one cycle: deliver due events, then step
@@ -161,6 +246,9 @@ func (s *shard) scheduleRouter(delay int64, e event) {
 // routing and config structures.
 func (s *shard) phase1() {
 	n := s.net
+	if !n.serial {
+		s.importOutboxes()
+	}
 	slot := n.nowSlot
 	evs := s.wheel[slot]
 	for i := range evs {
@@ -192,7 +280,7 @@ func (s *shard) phase1() {
 	} else {
 		for t := s.t0; t < s.t1; t++ {
 			term := n.terminals[t]
-			if term.dormant() {
+			if term.dormant(n) {
 				continue
 			}
 			term.generate(s)
@@ -270,6 +358,7 @@ func (s *shard) allocPacket(t traffic.PacketType, src, dst int, createdAt int64)
 		Route:     routing.PacketRoute{DestTerminal: dst, Intermediate: -1},
 	}
 	s.created += int64(p.Size)
+	s.livePkts++
 	return p
 }
 
@@ -312,19 +401,24 @@ func (s *shard) recycleFlit(f *router.Flit) {
 	s.flitPool.put(f)
 }
 
-// mergeAndCommit is phase 2 of a cycle: single-threaded, it moves
-// cross-shard events into the destination wheels and commits the cycle's
-// packet births and deliveries in a canonical order, making results
-// bit-identical for any shard count.
+// mergeAndCommit is phase 2 of a cycle: single-threaded, it publishes the
+// cycle's cross-shard events and commits packet births and deliveries in a
+// canonical order, making results bit-identical for any shard count. Block
+// profiling at 8–16 shards showed the barrier's serial span dominated by
+// the old per-event outbox copy; publishing is now a buffer swap and the
+// copy runs in the destinations' next (parallel) phase 1.
 func (n *Network) mergeAndCommit() {
-	// 1. Outboxes, in (source shard, emission) order — deterministic
-	// because each shard steps its terminals and routers in id order.
-	for _, s := range n.shards {
-		for _, oe := range s.outbox {
-			d := n.shards[oe.shard]
-			d.wheel[oe.slot] = append(d.wheel[oe.slot], oe.e)
+	// 1. Publish outboxes: this cycle's outCur becomes next cycle's
+	// outPrev, which destination shards import concurrently; the buffers
+	// they just drained are truncated for reuse. Serial mode never routes
+	// through outboxes (every router is shard-local), so it skips the swap.
+	if !n.serial {
+		for _, s := range n.shards {
+			s.outCur, s.outPrev = s.outPrev, s.outCur
+			for i := range s.outCur {
+				s.outCur[i] = s.outCur[i][:0]
+			}
 		}
-		s.outbox = s.outbox[:0]
 	}
 	// 2. IDs for this cycle's new requests, in terminal order (shards own
 	// contiguous terminal ranges and append in id order). Serial mode
@@ -375,6 +469,7 @@ func (n *Network) commitDelivery(s *shard, d delivery) {
 		n.terminals[d.terminal].replyQ.push(reply)
 	}
 	s.pktPool.put(p)
+	s.livePkts--
 }
 
 // --- worker pool ---------------------------------------------------------------

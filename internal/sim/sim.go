@@ -80,6 +80,15 @@ type Config struct {
 	// kept as the golden reference for that equivalence (it is a separate
 	// axis from Dense, which governs which routers are stepped at all).
 	DenseRequests bool
+	// Leap enables event leaping (see leap.go): when every router is
+	// quiescent, every terminal is dormant and no event is due, the clock
+	// jumps directly to the earliest pending timing-wheel event or
+	// presampled terminal arrival instead of ticking empty cycles. Results
+	// are bit-identical either way; the per-cycle stepper is kept as the
+	// golden reference for that equivalence. Dense or tracing forces the
+	// leap path off (the dense schedule steps every entity every cycle by
+	// definition, and traces record per-cycle state).
+	Leap bool
 }
 
 func (c *Config) applyDefaults() {
@@ -185,6 +194,12 @@ type Network struct {
 
 	nextPktID int64
 
+	// Event-leaping state (leap.go): leapOn caches the effective Leap
+	// setting after the Dense/Trace clamps; the counters feed LeapStats.
+	leapOn      bool
+	leapEvents  int64
+	cyclesLeapt int64
+
 	// Measurement state. Only the serial commit phase mutates it, so the
 	// floating-point accumulation order — the one place where reordering
 	// would leak into results — is independent of the shard layout.
@@ -231,6 +246,7 @@ func New(cfg Config) *Network {
 	n := &Network{
 		cfg:       cfg,
 		wheelSize: wheelSizeFor(cfg.Topology),
+		leapOn:    cfg.Leap && !cfg.Dense && cfg.Trace == nil,
 	}
 	root := xrand.New(cfg.Seed)
 	for r := 0; r < cfg.Topology.Routers; r++ {
@@ -284,6 +300,9 @@ func (n *Network) buildShards() {
 			t0: r0 * conc, t1: r1 * conc,
 			wheel:    make([][]event, n.wheelSize),
 			slotLow:  make([]int32, n.wheelSize),
+			occ:      make([]uint64, (n.wheelSize+63)/64),
+			outCur:   make([][]outEvent, S),
+			outPrev:  make([][]outEvent, S),
 			lastStep: make([]int64, r1-r0),
 		}
 		for j := range s.lastStep {
@@ -342,17 +361,27 @@ func (n *Network) stepCycle() {
 	}
 }
 
-// Run executes warmup, measurement and drain and returns the result.
+// Run executes warmup, measurement and drain and returns the result. With
+// Config.Leap the loops first offer each cycle to the leap gate (leap.go),
+// which jumps the clock over provably empty stretches; tryLeap never
+// advances past the phase horizon, so phase boundaries land on exactly the
+// cycles per-cycle ticking would visit.
 func (n *Network) Run() Result {
 	defer n.Close()
 	cfg := n.cfg
 	n.measStart = int64(cfg.Warmup)
 	n.measEnd = int64(cfg.Warmup + cfg.Measure)
 	for n.now < n.measEnd {
+		if n.tryLeap(n.measEnd) {
+			continue
+		}
 		n.stepCycle()
 	}
 	drainEnd := n.measEnd + int64(cfg.Drain)
 	for n.now < drainEnd && n.inFlight > 0 {
+		if n.tryLeap(drainEnd) {
+			continue
+		}
 		n.stepCycle()
 	}
 	var measFlits int64

@@ -60,6 +60,18 @@ type terminal struct {
 
 	classMasks []*bitvec.Vec
 
+	// Event-leaping injection state (Config.Leap): nextArrival is the
+	// presampled wake-up cycle (-1 = not sampled) — the next transaction
+	// arrival when arrivalReal, otherwise a chunk checkpoint at which
+	// sampling resumes (see presampleChunk); snap/snapCycle record the RNG
+	// state and cycle at presample time so a wake-up before the arrival can
+	// rewind and replay the per-cycle gate draws the dense reference would
+	// have made (rewindPresample).
+	nextArrival int64
+	arrivalReal bool
+	snap        xrand.Source
+	snapCycle   int64
+
 	sentFlits int64
 }
 
@@ -75,6 +87,8 @@ func newTerminal(id, routerID, port int, cfg Config, rng *xrand.Source) *termina
 		vcBusy:   make([]bool, v),
 		credits:  make([]int, v),
 		curVC:    -1,
+
+		nextArrival: -1,
 	}
 	t.gen.ReadFraction = *cfg.ReadFraction
 	for i := range t.credits {
@@ -96,18 +110,117 @@ func newTerminal(id, routerID, port int, cfg Config, rng *xrand.Source) *termina
 // on; that is exactly when the reply first becomes sendable (its CreatedAt
 // is the following cycle, which the open gate already enforced when receive
 // pushed replies mid-cycle).
-func (t *terminal) dormant() bool {
-	return t.gen.InjectionRate <= 0 && t.cur == nil && t.replyQ.empty() && t.reqQ.empty()
+//
+// With event leaping an idle terminal that has presampled its next arrival
+// (generate) is dormant until that cycle: the per-cycle gate draws it would
+// have made were consumed in one batch at presample time, and any earlier
+// wake-up rewinds and replays them, so skipping the terminal neither skips
+// work nor desynchronizes its RNG stream.
+func (t *terminal) dormant(n *Network) bool {
+	if t.cur != nil || !t.replyQ.empty() || !t.reqQ.empty() {
+		return false
+	}
+	if t.gen.InjectionRate <= 0 {
+		return true
+	}
+	return n.leapOn && t.nextArrival > n.now
 }
 
-// generate rolls the geometric injection process for this cycle.
+// generate rolls the injection process for this cycle. With event leaping
+// an idle terminal consumes the whole run of per-cycle Bernoulli failures
+// up to the next success in one batch, exposing the arrival cycle to the
+// leap gate; the batch is the exact same draw sequence the dense reference
+// consumes one cycle at a time.
 func (t *terminal) generate(s *shard) {
+	n := s.net
+	if n.leapOn && t.gen.InjectionRate > 0 {
+		t.generateLeap(s)
+		return
+	}
 	typ, dst, ok := t.gen.NextRequest(t.id, t.rng)
 	if !ok {
 		return
 	}
-	p := s.newRequest(typ, t.id, dst, s.net.now)
+	p := s.newRequest(typ, t.id, dst, n.now)
 	t.reqQ.push(p)
+}
+
+// presampleChunk bounds one presampling batch: an idle terminal consumes
+// at most this many per-cycle gate draws ahead of the clock, so ultra-low
+// rates don't eagerly burn an entire geometric run (mean 1/p cycles, vastly
+// past the end of the run at low p). A batch that ends without an arrival
+// parks nextArrival at the chunk boundary as a checkpoint (arrivalReal
+// false); the leap gate may jump there, and sampling resumes. The rewind
+// replay cost on an early wake-up is bounded by the same constant.
+const presampleChunk = 1024
+
+// generateLeap is the presampling injection path (see generate).
+func (t *terminal) generateLeap(s *shard) {
+	n := s.net
+	if t.nextArrival >= 0 {
+		switch {
+		case n.now < t.nextArrival:
+			// Woken before the presampled arrival (a reply arrived this
+			// cycle): rewind and replay the gate draws through this cycle
+			// so the stream position matches dense ticking before open()
+			// consumes any routing randomness.
+			t.rewindPresample(n.now)
+			return
+		case t.arrivalReal:
+			// now == nextArrival: the gate draw was consumed at presample
+			// time; draw the rest of the transaction and emit. A leaped
+			// schedule cannot overshoot: the leap gate never jumps past a
+			// presampled wake-up.
+			t.nextArrival = -1
+			typ, dst := t.gen.RequestAt(t.id, t.rng)
+			t.reqQ.push(s.newRequest(typ, t.id, dst, n.now))
+			return
+		default:
+			// Chunk checkpoint: the previous batch held no arrival, and its
+			// draws covered exactly the cycles before this one. Resume
+			// sampling below as if freshly idle (or tick per-cycle if a
+			// reply arrived at this very cycle).
+			t.nextArrival = -1
+		}
+	}
+	if t.cur != nil || !t.replyQ.empty() || !t.reqQ.empty() {
+		// Busy terminals tick the per-cycle process: send has to run
+		// every cycle anyway, so presampling would buy nothing and the
+		// adaptive-routing draws interleaved by open() make the stream
+		// cheapest to keep aligned one cycle at a time.
+		typ, dst, ok := t.gen.NextRequest(t.id, t.rng)
+		if ok {
+			t.reqQ.push(s.newRequest(typ, t.id, dst, n.now))
+		}
+		return
+	}
+	t.snap, t.snapCycle = t.rng.State(), n.now
+	if d := t.gen.NextArrivalDelta(t.rng, presampleChunk); d < 0 {
+		t.nextArrival, t.arrivalReal = n.now+presampleChunk, false
+		return
+	} else if d > 0 {
+		t.nextArrival, t.arrivalReal = n.now+int64(d), true
+		return
+	}
+	// The batch's first draw succeeded: the arrival is this cycle; emit.
+	typ, dst := t.gen.RequestAt(t.id, t.rng)
+	t.reqQ.push(s.newRequest(typ, t.id, dst, n.now))
+}
+
+// rewindPresample rewinds the RNG to the presample point and replays the
+// per-cycle gate draws for cycles snapCycle..through — all failures by
+// construction, since through precedes the presampled arrival — leaving
+// the stream exactly where dense per-cycle ticking would have it after
+// cycle through's draw, and the terminal unsampled.
+func (t *terminal) rewindPresample(through int64) {
+	t.rng.Restore(t.snap)
+	p := t.gen.TransactionRate()
+	for c := t.snapCycle; c <= through; c++ {
+		if t.rng.Bool(p) {
+			panic("sim: presample replay produced an arrival before the sampled one")
+		}
+	}
+	t.nextArrival = -1
 }
 
 // receive consumes an ejected flit; flits return to the shard's free list
@@ -202,9 +315,15 @@ func (t *terminal) open(s *shard) {
 }
 
 // SetInjectionRate changes the offered load of every terminal; used by
-// drain-style tests.
+// drain-style tests. A presampled arrival was drawn at the old rate, so it
+// is rewound — replaying the already-elapsed cycles at that old rate —
+// before the new rate takes effect at the current cycle, exactly as
+// per-cycle ticking would have it.
 func (n *Network) SetInjectionRate(rate float64) {
 	for _, t := range n.terminals {
+		if t.nextArrival >= 0 {
+			t.rewindPresample(n.now - 1)
+		}
 		t.gen.InjectionRate = rate
 	}
 }

@@ -218,9 +218,42 @@ func (g *Generator) NextRequest(src int, rng *xrand.Source) (PacketType, int, bo
 	if !rng.Bool(g.TransactionRate()) {
 		return 0, 0, false
 	}
+	t, d := g.RequestAt(src, rng)
+	return t, d, true
+}
+
+// RequestAt draws the type and destination of a transaction whose Bernoulli
+// gate draw was already consumed — the second half of NextRequest, split out
+// for the geometric presampling path (see NextArrivalDelta).
+func (g *Generator) RequestAt(src int, rng *xrand.Source) (PacketType, int) {
 	t := WriteRequest
 	if rng.Bool(g.ReadFraction) {
 		t = ReadRequest
 	}
-	return t, g.Pattern.Dest(src, rng), true
+	return t, g.Pattern.Dest(src, rng)
+}
+
+// NextArrivalDelta consumes per-cycle Bernoulli gate draws until the first
+// success and returns the number of failures, i.e. the offset in cycles from
+// the current one to the next transaction arrival (0 = this cycle). It draws
+// the exact same stream NextRequest's gate would consume one cycle at a
+// time, which is what keeps event-leaped runs bit-identical to per-cycle
+// ticking; a closed-form inversion sampler deliberately is not used here
+// because it consumes a different number of draws. max bounds the batch: if
+// none of the first max draws succeeds, the sampler stops having consumed
+// exactly max draws and returns -1, so a caller can resample in bounded
+// chunks instead of eagerly consuming a whole geometric run (mean 1/p
+// cycles) the simulation may never reach. TransactionRate() <= 0 also
+// returns -1, consuming nothing.
+func (g *Generator) NextArrivalDelta(rng *xrand.Source, max int) int {
+	p := g.TransactionRate()
+	if p <= 0 {
+		return -1
+	}
+	for k := 0; k < max; k++ {
+		if rng.Bool(p) {
+			return k
+		}
+	}
+	return -1
 }

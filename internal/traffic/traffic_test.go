@@ -193,3 +193,115 @@ func TestGeneratorZeroRate(t *testing.T) {
 		}
 	}
 }
+
+// TestNextArrivalDeltaMatchesBernoulli is the contract that lets the
+// simulator presample a dormant terminal's next arrival: NextArrivalDelta
+// must consume the exact same RNG stream as ticking NextRequest's Bernoulli
+// gate one cycle at a time — same failure count before the success AND the
+// generator left in the identical state — so leaped and ticked runs stay
+// bit-identical at any seed.
+func TestNextArrivalDeltaMatchesBernoulli(t *testing.T) {
+	p, err := NewPattern("uniform", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range []float64{0.001, 0.05, 0.3, 1.2} {
+		g := NewGenerator(p, rate)
+		a := xrand.New(42)
+		b := xrand.New(42)
+		for trial := 0; trial < 2000; trial++ {
+			// Reference: per-cycle gate draws until a transaction starts.
+			ticked := 0
+			for !a.Bool(g.TransactionRate()) {
+				ticked++
+			}
+			leaped := g.NextArrivalDelta(b, 1<<30)
+			if leaped != ticked {
+				t.Fatalf("rate %g trial %d: NextArrivalDelta = %d, per-cycle gate = %d", rate, trial, leaped, ticked)
+			}
+			if a.State() != b.State() {
+				t.Fatalf("rate %g trial %d: RNG states diverged after sampling", rate, trial)
+			}
+			// Keep the streams exercised past the gate, as a real terminal
+			// would (type + destination draws).
+			at, ad := g.RequestAt(0, a)
+			bt, bd := g.RequestAt(0, b)
+			if at != bt || ad != bd {
+				t.Fatalf("rate %g trial %d: RequestAt diverged: (%v,%d) vs (%v,%d)", rate, trial, at, ad, bt, bd)
+			}
+		}
+	}
+}
+
+// TestNextArrivalDeltaStatistics sanity-checks the sampler's distribution:
+// the mean inter-arrival gap must track the geometric mean 1/p - 1 failures
+// before a success.
+func TestNextArrivalDeltaStatistics(t *testing.T) {
+	p, err := NewPattern("uniform", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(p, 0.12) // transaction rate 0.02
+	rng := xrand.New(7)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(g.NextArrivalDelta(rng, 1<<30))
+	}
+	mean := sum / n
+	want := 1/g.TransactionRate() - 1
+	if math.Abs(mean-want) > 0.05*want {
+		t.Errorf("mean arrival delta = %.2f, want ≈ %.2f", mean, want)
+	}
+}
+
+// TestNextArrivalDeltaDegenerate pins the zero-rate guard (the per-cycle
+// gate never succeeds at p <= 0, so the sampler must refuse rather than
+// spin).
+func TestNextArrivalDeltaDegenerate(t *testing.T) {
+	p, _ := NewPattern("uniform", 64)
+	g := NewGenerator(p, 0)
+	rng := xrand.New(1)
+	before := rng.State()
+	if d := g.NextArrivalDelta(rng, 1<<30); d != -1 {
+		t.Errorf("NextArrivalDelta at rate 0 = %d, want -1", d)
+	}
+	if rng.State() != before {
+		t.Error("NextArrivalDelta at rate 0 consumed randomness")
+	}
+}
+
+// TestNextArrivalDeltaChunked pins the bounded-batch contract: a capped
+// call that finds no arrival consumes exactly max draws, and resuming with
+// further calls from the same stream position lands on the same arrival —
+// after the same total number of draws — as one unbounded call. This is
+// what lets the simulator presample in fixed chunks without ever diverging
+// from the dense per-cycle stream.
+func TestNextArrivalDeltaChunked(t *testing.T) {
+	p, err := NewPattern("uniform", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(p, 0.003) // transaction rate 0.0005: arrivals well past small chunks
+	const chunk = 128
+	a := xrand.New(99)
+	b := xrand.New(99)
+	for trial := 0; trial < 200; trial++ {
+		want := g.NextArrivalDelta(a, 1<<30)
+		total := 0
+		for {
+			d := g.NextArrivalDelta(b, chunk)
+			if d >= 0 {
+				total += d
+				break
+			}
+			total += chunk
+		}
+		if total != want {
+			t.Fatalf("trial %d: chunked arrival after %d cycles, unbounded after %d", trial, total, want)
+		}
+		if a.State() != b.State() {
+			t.Fatalf("trial %d: RNG states diverged after chunked sampling", trial)
+		}
+	}
+}
