@@ -84,14 +84,19 @@ type netReport struct {
 	Multicore []multicoreRun `json:"multicore,omitempty"`
 }
 
+// benchScale is the phase-length/seed baseline every network point runs
+// at; the shared -warmup/-measure/-drain/-seed flags adjust it, while each
+// point's own shards/dense/leap matrix overrides the execution axes.
+var benchScale = experiments.SimScale{Warmup: 500, Measure: 1500, Drain: 8000, Seed: 42}
+
 // runNetPoint times iters runs of one configuration. Only Run() is on the
 // clock: network construction costs ~1.5 ms regardless of configuration,
 // which on short low-rate points would dilute every stepper-level ratio
 // the snapshot exists to track.
 func runNetPoint(name string, pt experiments.Point, rate float64, shards int, dense, leap bool, iters int) netPoint {
-	cfg := experiments.BuildSim(pt, rate, experiments.SimScale{
-		Warmup: 500, Measure: 1500, Drain: 8000, Seed: 42, Shards: shards, Dense: dense, Leap: leap,
-	})
+	scale := benchScale
+	scale.Shards, scale.Dense, scale.Leap = shards, dense, leap
+	cfg := experiments.BuildSim(pt, rate, scale)
 	var cycles, flits, leaps, leapt int64
 	var elapsed time.Duration
 	for i := 0; i < iters; i++ {
@@ -462,23 +467,32 @@ func emit(v any, out string) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_net.json", "network report output ('-' for stdout)")
+	out := flag.String("out", "BENCH_net.json", "network report output ('-' for stdout, '' to skip)")
 	allocOut := flag.String("allocout", "BENCH_alloc.json", "allocator report output ('-' for stdout, '' to skip)")
 	qualityOut := flag.String("qualityout", "BENCH_quality.json", "quality report output ('-' for stdout, '' to skip)")
 	quick := flag.Bool("quick", false, "reduced iteration/cycle/trial counts per point (CI smoke)")
 	iters := flag.Int("iters", 3, "iterations per network point")
 	allocCycles := flag.Int("alloccycles", 200000, "Allocate calls per allocator point")
 	trials := flag.Int("trials", 2000, "request matrices per quality rate point")
+	sweepdOut := flag.String("sweepdout", "BENCH_sweepd.json", "sweep service report output ('-' for stdout, '' to skip)")
+	hitIters := flag.Int("hititers", 200, "cache-hit serves averaged per sweepd measurement")
+	scaleOf := experiments.ScaleFlags(flag.CommandLine, benchScale)
 	flag.Parse()
+	benchScale = scaleOf()
 	if *quick {
-		*iters, *allocCycles, *trials = 1, 2000, 100
+		*iters, *allocCycles, *trials, *hitIters = 1, 2000, 100, 50
 	}
 
-	emit(netBench(*iters), *out)
+	if *out != "" {
+		emit(netBench(*iters), *out)
+	}
 	if *allocOut != "" {
 		emit(allocBench(*allocCycles), *allocOut)
 	}
 	if *qualityOut != "" {
 		emit(qualityBench(*trials), *qualityOut)
+	}
+	if *sweepdOut != "" {
+		emit(sweepdBench(*hitIters), *sweepdOut)
 	}
 }

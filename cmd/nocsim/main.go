@@ -27,15 +27,8 @@ func main() {
 	exp := flag.String("exp", "fig13", "experiment: fig13, fig14, vasweep, patterns or saturation")
 	topo := flag.String("topo", "mesh", "design point topology: mesh or fbfly")
 	c := flag.Int("c", 1, "VCs per class (1, 2 or 4)")
-	warmup := flag.Int("warmup", 3000, "warmup cycles")
-	measure := flag.Int("measure", 6000, "measurement cycles")
-	drain := flag.Int("drain", 20000, "drain cycle budget")
-	seed := flag.Uint64("seed", 42, "simulation seed")
-	workers := flag.Int("workers", 4, "concurrent simulations per curve")
-	shards := flag.Int("shards", 0, "parallel shards within each simulation (0 = auto: split cores not used by -workers; results are bit-identical for any value)")
-	dense := flag.Bool("dense", false, "step every router every cycle (reference scheduler; slower, bit-identical)")
-	denseRequests := flag.Bool("denserequests", false, "rebuild every VA/switch request every cycle (reference request path; slower, bit-identical)")
-	leap := flag.Bool("leap", true, "leap over provably idle cycles (-leap=false keeps the per-cycle slow twin; results are bit-identical either way)")
+	scaleOf := experiments.ScaleFlags(flag.CommandLine,
+		experiments.SimScale{Warmup: 3000, Measure: 6000, Drain: 20000, Seed: 42, Workers: 4, Leap: true})
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -51,7 +44,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	scale := experiments.SimScale{Warmup: *warmup, Measure: *measure, Drain: *drain, Seed: *seed, Workers: *workers, Shards: *shards, Dense: *dense, DenseRequests: *denseRequests, Leap: *leap}
+	scale := scaleOf()
 	rates := experiments.InjectionRates(pt)
 
 	header := func(format string, args ...any) {

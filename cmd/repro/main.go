@@ -23,11 +23,9 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced trials and cycles")
-	workers := flag.Int("workers", 4, "concurrent simulations (or quality rate points) per curve")
-	shards := flag.Int("shards", 0, "parallel shards within each simulation (0 = serial stepping; results are bit-identical for any value)")
-	dense := flag.Bool("dense", false, "step every router every cycle (reference scheduler; slower, bit-identical)")
-	denseRequests := flag.Bool("denserequests", false, "rebuild every VA/switch request every cycle (reference request path; slower, bit-identical)")
-	leap := flag.Bool("leap", true, "leap over provably idle cycles (-leap=false keeps the per-cycle slow twin; results are bit-identical either way)")
+	def := experiments.DefaultScale()
+	def.Workers = 4
+	scaleOf := experiments.ScaleFlags(flag.CommandLine, def)
 	only := flag.String("only", "", "restrict to one experiment: fig4, fig5, fig6, fig7, fig10, fig11, fig12, fig13, fig14, vasweep, summary")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -39,16 +37,23 @@ func main() {
 	defer stop()
 
 	trials := 10000
-	scale := experiments.DefaultScale()
+	scale := scaleOf()
 	if *quick {
+		// -quick overrides the phase-length defaults but not an explicit
+		// -warmup/-measure/-drain on the command line.
 		trials = 500
-		scale = experiments.SimScale{Warmup: 500, Measure: 1000, Drain: 4000, Seed: 42}
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["warmup"] {
+			scale.Warmup = 500
+		}
+		if !set["measure"] {
+			scale.Measure = 1000
+		}
+		if !set["drain"] {
+			scale.Drain = 4000
+		}
 	}
-	scale.Workers = *workers
-	scale.Shards = *shards
-	scale.Dense = *dense
-	scale.DenseRequests = *denseRequests
-	scale.Leap = *leap
 
 	want := func(name string) bool { return *only == "" || *only == name }
 	tech := costmodel.Default45nm()
@@ -81,7 +86,7 @@ func main() {
 		section("Fig. 7: VC allocator matching quality")
 		for _, pt := range experiments.Points() {
 			fmt.Printf("-- %s --\n", pt)
-			fmt.Print(quality.FormatSeries(experiments.VCQualityN(pt, sparseRates(), trials, 1, *workers)))
+			fmt.Print(quality.FormatSeries(experiments.VCQualityN(pt, sparseRates(), trials, 1, scale.Workers)))
 		}
 	}
 
@@ -101,7 +106,7 @@ func main() {
 		section("Fig. 12: switch allocator matching quality")
 		for _, pt := range experiments.Points() {
 			fmt.Printf("-- %s --\n", pt)
-			fmt.Print(quality.FormatSeries(experiments.SwitchQualityN(pt, sparseRates(), trials, 1, *workers)))
+			fmt.Print(quality.FormatSeries(experiments.SwitchQualityN(pt, sparseRates(), trials, 1, scale.Workers)))
 		}
 	}
 

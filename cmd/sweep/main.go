@@ -24,12 +24,25 @@ import (
 func main() {
 	topo := flag.String("topo", "", "restrict to one topology: mesh or fbfly")
 	quick := flag.Bool("quick", false, "shorter simulations")
-	seed := flag.Uint64("seed", 9, "simulation seed")
+	scaleOf := experiments.ScaleFlags(flag.CommandLine,
+		experiments.SimScale{Warmup: 2000, Measure: 4000, Drain: 4000, Seed: 9})
 	flag.Parse()
 
-	scale := experiments.SimScale{Warmup: 2000, Measure: 4000, Drain: 4000, Seed: *seed}
+	scale := scaleOf()
 	if *quick {
-		scale = experiments.SimScale{Warmup: 500, Measure: 1200, Drain: 1500, Seed: *seed}
+		// -quick overrides the phase-length defaults but not an explicit
+		// -warmup/-measure/-drain on the command line.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["warmup"] {
+			scale.Warmup = 500
+		}
+		if !set["measure"] {
+			scale.Measure = 1200
+		}
+		if !set["drain"] {
+			scale.Drain = 1500
+		}
 	}
 
 	archs := []alloc.Arch{alloc.SepIF, alloc.SepOF, alloc.Wavefront}

@@ -1,0 +1,161 @@
+// Command sweepd is the persistent sweep service: a long-lived HTTP server
+// that runs the repository's cycle-accurate network simulations on demand
+// and caches the results by content address. Repeated and concurrent
+// requests for the same (config, seed) pay for one simulation: a
+// content-addressed LRU store serves repeats, in-flight coalescing merges
+// concurrent duplicates, and a bounded worker pool schedules true misses.
+// Results are bit-identical to the batch CLIs (cmd/repro, cmd/nocsim) for
+// the same unit — the cache key covers exactly the semantic fields, so
+// hits are correct regardless of the server's -shards/-leap execution
+// configuration.
+//
+// Usage:
+//
+//	sweepd                         # listen on :8080
+//	sweepd -addr :9090 -workers 8  # explicit bind and pool width
+//	sweepd -selfcheck              # in-process smoke: miss, then byte-equal hit
+//
+// Endpoints:
+//
+//	POST /sweep    {"base":{...},"sa_archs":[...],"rates":[...]}  → NDJSON
+//	GET  /healthz  liveness
+//	GET  /statz    cache / coalescing / pool counters
+//
+// The -warmup/-measure/-drain/-seed flags set server-side defaults for
+// request fields left zero; -shards/-dense/-denserequests/-leap pick the
+// execution path for every simulated unit (bit-identical axes, never part
+// of the cache key).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheEntries := flag.Int("cache-entries", 4096, "result store entry bound (0 = unbounded)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result store byte bound (0 = unbounded)")
+	selfcheck := flag.Bool("selfcheck", false, "run an in-process smoke test (cold miss, then byte-equal cache hit) and exit")
+	scaleOf := experiments.ScaleFlags(flag.CommandLine,
+		experiments.SimScale{Workers: runtime.GOMAXPROCS(0), Leap: true})
+	flag.Parse()
+	scale := scaleOf()
+
+	srv := sweep.NewServer(sweep.Options{
+		Defaults:   scale,
+		Exec:       sweep.Exec{Shards: scale.Shards, Dense: scale.Dense, DenseRequests: scale.DenseRequests, Leap: scale.Leap},
+		Workers:    scale.Workers,
+		MaxEntries: *cacheEntries,
+		MaxBytes:   *cacheBytes,
+	})
+	defer srv.Close()
+
+	if *selfcheck {
+		if err := runSelfcheck(srv); err != nil {
+			fmt.Fprintln(os.Stderr, "sweepd selfcheck: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("sweepd selfcheck: ok")
+		return
+	}
+
+	log.Printf("sweepd: listening on %s (workers=%d, cache %d entries / %d MiB, schema v%d)",
+		*addr, scale.Workers, *cacheEntries, *cacheBytes>>20, sweep.SchemaVersion)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// runSelfcheck exercises the full endpoint stack against a live listener:
+// one quick Fig. 13 point requested twice must simulate exactly once, with
+// the second pass served entirely from the store and byte-equal to the
+// first. This is the CI endpoint smoke.
+func runSelfcheck(srv *sweep.Server) error {
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := sweep.Request{
+		Base: sweep.UnitConfig{
+			Topo: "mesh", Seed: 42, Warmup: 500, Measure: 1000, Drain: 4000,
+		},
+		SAArchs: []string{"sep_if", "wf"},
+		Rates:   []float64{0.05, 0.2},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	post := func() (results map[int]json.RawMessage, sum sweep.SweepSummary, err error) {
+		resp, err := http.Post(ts.URL+"/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, sum, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, sum, fmt.Errorf("POST /sweep: %s", resp.Status)
+		}
+		results = map[int]json.RawMessage{}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if bytes.Contains(line, []byte(`"done"`)) {
+				err = json.Unmarshal(line, &sum)
+			} else {
+				var u sweep.UnitUpdate
+				if err = json.Unmarshal(line, &u); err == nil {
+					if u.Error != "" {
+						return nil, sum, fmt.Errorf("unit %d: %s: %s", u.Index, u.Status, u.Error)
+					}
+					results[u.Index] = u.Result
+				}
+			}
+			if err != nil {
+				return nil, sum, err
+			}
+		}
+		return results, sum, sc.Err()
+	}
+
+	start := time.Now()
+	cold, coldSum, err := post()
+	if err != nil {
+		return err
+	}
+	coldElapsed := time.Since(start)
+	if coldSum.Misses != coldSum.Units || coldSum.Units != 4 {
+		return fmt.Errorf("cold pass: %+v, want 4 misses", coldSum)
+	}
+	start = time.Now()
+	warm, warmSum, err := post()
+	if err != nil {
+		return err
+	}
+	warmElapsed := time.Since(start)
+	if warmSum.Hits != warmSum.Units {
+		return fmt.Errorf("warm pass: %+v, want all hits", warmSum)
+	}
+	for i, b := range cold {
+		if !bytes.Equal(b, warm[i]) {
+			return fmt.Errorf("unit %d: cache hit bytes differ from the miss that populated it", i)
+		}
+	}
+	if got := srv.SimRuns(); got != 4 {
+		return fmt.Errorf("two identical sweeps ran %d simulations, want 4", got)
+	}
+	fmt.Printf("cold %v, warm %v (%0.0fx), 4 units, 4 sims, 4 hits\n",
+		coldElapsed.Round(time.Millisecond), warmElapsed.Round(time.Microsecond),
+		float64(coldElapsed)/float64(warmElapsed))
+	return nil
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"context"
+	"flag"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// quickCtxScale is a small-but-nonzero workload for the cancellation tests:
+// big enough that an uncancelled sweep would take many seconds, so a prompt
+// return can only mean the abort path fired.
+func ctxHugeScale() SimScale {
+	return SimScale{Warmup: 500, Measure: 50_000_000, Drain: 1000, Seed: 42, Workers: 2}
+}
+
+// TestFig13CtxCancelStopsEarly cancels a curve sweep whose uncancelled
+// runtime would be enormous and requires it to return promptly.
+func TestFig13CtxCancelStopsEarly(t *testing.T) {
+	pt, err := PointByName("mesh", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan []NetSeries, 1)
+	go func() { done <- Fig13Ctx(ctx, pt, []float64{0.2, 0.25, 0.3}, ctxHugeScale()) }()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case series := <-done:
+		if len(series) != 3 {
+			t.Fatalf("want 3 series even when cancelled, got %d", len(series))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled Fig13Ctx sweep did not return within 30s")
+	}
+}
+
+// TestPatternSweepCtxCancelStopsEarly does the same through the pattern
+// sweep worker path.
+func TestPatternSweepCtxCancelStopsEarly(t *testing.T) {
+	pt, err := PointByName("mesh", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := PatternSweepCtx(ctx, pt, 0.3, ctxHugeScale(), []string{"uniform", "transpose", "tornado"})
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cancelled sweep returned error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled PatternSweepCtx did not return within 30s")
+	}
+}
+
+// TestCtxVariantsMatchPlain pins that the Background-context wrappers are
+// the same computation as the plain entry points.
+func TestCtxVariantsMatchPlain(t *testing.T) {
+	pt, err := PointByName("mesh", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := SimScale{Warmup: 200, Measure: 400, Drain: 1500, Seed: 42, Workers: 2}
+	rates := []float64{0.1, 0.2}
+	if a, b := Fig13(pt, rates, scale), Fig13Ctx(context.Background(), pt, rates, scale); !reflect.DeepEqual(a, b) {
+		t.Fatalf("Fig13 and Fig13Ctx diverged")
+	}
+	if a, b := Fig14(pt, rates, scale), Fig14Ctx(context.Background(), pt, rates, scale); !reflect.DeepEqual(a, b) {
+		t.Fatalf("Fig14 and Fig14Ctx diverged")
+	}
+}
+
+// TestScaleFlags pins the shared flag surface: defaults pass through
+// untouched, and every registered flag lands in the resolved SimScale.
+func TestScaleFlags(t *testing.T) {
+	def := SimScale{Warmup: 100, Measure: 200, Drain: 300, Seed: 7, Workers: 2, Leap: true}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	get := ScaleFlags(fs, def)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := get(); got != def {
+		t.Fatalf("defaults did not pass through: got %+v want %+v", got, def)
+	}
+
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	get = ScaleFlags(fs, def)
+	args := []string{
+		"-warmup", "11", "-measure", "22", "-drain", "33", "-seed", "44",
+		"-workers", "5", "-shards", "6", "-dense", "-denserequests", "-leap=false",
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	want := SimScale{Warmup: 11, Measure: 22, Drain: 33, Seed: 44, Workers: 5, Shards: 6, Dense: true, DenseRequests: true, Leap: false}
+	if got := get(); got != want {
+		t.Fatalf("parsed flags: got %+v want %+v", got, want)
+	}
+}

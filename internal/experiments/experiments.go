@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -368,14 +369,17 @@ func BuildSim(pt Point, rate float64, scale SimScale) sim.Config {
 	return cfg
 }
 
-func runCurve(name string, rates []float64, mk func(rate float64) sim.Config) NetSeries {
-	return runCurveN(name, rates, 1, mk)
+func runCurve(ctx context.Context, name string, rates []float64, mk func(rate float64) sim.Config) NetSeries {
+	return runCurveN(ctx, name, rates, 1, mk)
 }
 
 // runCurveN sweeps the rate points with up to `workers` simulations in
 // flight. Every point is an independent simulation with its own seed, so
-// results are bit-identical regardless of parallelism.
-func runCurveN(name string, rates []float64, workers int, mk func(rate float64) sim.Config) NetSeries {
+// results are bit-identical regardless of parallelism. Cancelling ctx
+// aborts in-flight simulations (sim.RunCtx polls it every
+// sim.AbortCheckInterval cycles) and skips unstarted points; aborted points
+// are left zero-valued, so callers that care must check ctx.Err().
+func runCurveN(ctx context.Context, name string, rates []float64, workers int, mk func(rate float64) sim.Config) NetSeries {
 	s := NetSeries{Name: name, Points: make([]NetPoint, len(rates))}
 	if workers < 1 {
 		workers = 1
@@ -392,7 +396,13 @@ func runCurveN(name string, rates []float64, workers int, mk func(rate float64) 
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res := sim.New(mk(rate)).Run()
+			if ctx.Err() != nil {
+				return
+			}
+			res := sim.New(mk(rate)).RunCtx(ctx)
+			if res.Aborted {
+				return
+			}
 			s.Points[i] = NetPoint{
 				Rate: rate, Latency: res.AvgLatency, Throughput: res.Throughput,
 				Saturated: res.Saturated, Cycles: res.Cycles,
@@ -407,10 +417,16 @@ func runCurveN(name string, rates []float64, workers int, mk func(rate float64) 
 // injection rate for the three switch allocator architectures (separable
 // input-first VC allocation and pessimistic speculation, per §5.3.3).
 func Fig13(pt Point, rates []float64, scale SimScale) []NetSeries {
+	return Fig13Ctx(context.Background(), pt, rates, scale)
+}
+
+// Fig13Ctx is Fig13 with cooperative cancellation: cancelling ctx aborts
+// in-flight simulations and skips unstarted rate points.
+func Fig13Ctx(ctx context.Context, pt Point, rates []float64, scale SimScale) []NetSeries {
 	var out []NetSeries
 	for _, arch := range []alloc.Arch{alloc.SepIF, alloc.SepOF, alloc.Wavefront} {
 		arch := arch
-		out = append(out, runCurveN(arch.String(), rates, scale.Workers, func(rate float64) sim.Config {
+		out = append(out, runCurveN(ctx, arch.String(), rates, scale.Workers, func(rate float64) sim.Config {
 			cfg := BuildSim(pt, rate, scale)
 			cfg.SA.Arch = arch
 			return cfg
@@ -422,10 +438,15 @@ func Fig13(pt Point, rates []float64, scale SimScale) []NetSeries {
 // Fig14 regenerates one subfigure of Fig. 14: the three speculation schemes
 // on a separable input-first switch allocator.
 func Fig14(pt Point, rates []float64, scale SimScale) []NetSeries {
+	return Fig14Ctx(context.Background(), pt, rates, scale)
+}
+
+// Fig14Ctx is Fig14 with cooperative cancellation.
+func Fig14Ctx(ctx context.Context, pt Point, rates []float64, scale SimScale) []NetSeries {
 	var out []NetSeries
 	for _, mode := range []core.SpecMode{core.SpecNone, core.SpecGnt, core.SpecReq} {
 		mode := mode
-		out = append(out, runCurveN(mode.String(), rates, scale.Workers, func(rate float64) sim.Config {
+		out = append(out, runCurveN(ctx, mode.String(), rates, scale.Workers, func(rate float64) sim.Config {
 			cfg := BuildSim(pt, rate, scale)
 			cfg.SA.SpecMode = mode
 			return cfg
@@ -452,7 +473,7 @@ func VASweep(pt Point, rates []float64, scale SimScale) []NetSeries {
 	var out []NetSeries
 	for _, v := range vas {
 		v := v
-		out = append(out, runCurveN(v.name, rates, scale.Workers, func(rate float64) sim.Config {
+		out = append(out, runCurveN(context.Background(), v.name, rates, scale.Workers, func(rate float64) sim.Config {
 			cfg := BuildSim(pt, rate, scale)
 			cfg.VA.Arch = v.arch
 			cfg.VA.Sparse = v.sparse
@@ -518,6 +539,12 @@ func SaturationThroughput(pt Point, swArch alloc.Arch, scale SimScale) float64 {
 // independent, deterministic simulation, so results do not depend on the
 // worker count.
 func PatternSweep(pt Point, rate float64, scale SimScale, patterns []string) ([]NetSeries, error) {
+	return PatternSweepCtx(context.Background(), pt, rate, scale, patterns)
+}
+
+// PatternSweepCtx is PatternSweep with cooperative cancellation: cancelling
+// ctx aborts in-flight simulations and skips unstarted patterns.
+func PatternSweepCtx(ctx context.Context, pt Point, rate float64, scale SimScale, patterns []string) ([]NetSeries, error) {
 	resolved := make([]traffic.Pattern, len(patterns))
 	for i, name := range patterns {
 		p, err := traffic.NewPattern(name, 64)
@@ -551,7 +578,7 @@ func PatternSweep(pt Point, rate float64, scale SimScale, patterns []string) ([]
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out[i] = runCurve(patterns[i], []float64{rate}, func(r float64) sim.Config {
+			out[i] = runCurve(ctx, patterns[i], []float64{rate}, func(r float64) sim.Config {
 				cfg := BuildSim(pt, r, scale)
 				cfg.Pattern = resolved[i]
 				return cfg

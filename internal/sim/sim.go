@@ -16,6 +16,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -133,6 +134,10 @@ type Result struct {
 	// fraction of measured packets, i.e. the offered load exceeds the
 	// saturation throughput.
 	Saturated bool
+	// Aborted is set when RunCtx observed its context cancelled and stopped
+	// early; every other field then describes the partial run and must not
+	// be compared against a completed one.
+	Aborted bool
 	// Cycles is the total simulated cycle count.
 	Cycles int64
 	// FlitsDelivered counts all flits ejected over the whole run.
@@ -361,24 +366,67 @@ func (n *Network) stepCycle() {
 	}
 }
 
+// AbortCheckInterval is the number of run-loop iterations between
+// cancellation checks in RunCtx. A cancelled context is observed within one
+// interval: at most AbortCheckInterval stepped cycles (leap iterations also
+// count, so wall-clock latency is bounded even when leaps cover long
+// stretches). Tests pin worker-release latency against this constant.
+const AbortCheckInterval = 256
+
 // Run executes warmup, measurement and drain and returns the result. With
 // Config.Leap the loops first offer each cycle to the leap gate (leap.go),
 // which jumps the clock over provably empty stretches; tryLeap never
 // advances past the phase horizon, so phase boundaries land on exactly the
 // cycles per-cycle ticking would visit.
 func (n *Network) Run() Result {
+	return n.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cooperative cancellation: every AbortCheckInterval
+// loop iterations the context's done channel is polled (a counter decrement
+// and an empty select in the steady state, so the zero-alloc hot loop and
+// bit-identical goldens are unaffected), and a cancelled run returns early
+// with Result.Aborted set. Abort never lands mid-cycle — the check sits
+// between cycles, when no shard worker is running — so a partial run is
+// internally consistent, just incomplete.
+func (n *Network) RunCtx(ctx context.Context) Result {
 	defer n.Close()
+	done := ctx.Done()
+	checkIn := AbortCheckInterval
+	aborted := false
 	cfg := n.cfg
 	n.measStart = int64(cfg.Warmup)
 	n.measEnd = int64(cfg.Warmup + cfg.Measure)
 	for n.now < n.measEnd {
+		if checkIn--; checkIn <= 0 {
+			checkIn = AbortCheckInterval
+			select {
+			case <-done:
+				aborted = true
+			default:
+			}
+			if aborted {
+				break
+			}
+		}
 		if n.tryLeap(n.measEnd) {
 			continue
 		}
 		n.stepCycle()
 	}
 	drainEnd := n.measEnd + int64(cfg.Drain)
-	for n.now < drainEnd && n.inFlight > 0 {
+	for !aborted && n.now < drainEnd && n.inFlight > 0 {
+		if checkIn--; checkIn <= 0 {
+			checkIn = AbortCheckInterval
+			select {
+			case <-done:
+				aborted = true
+			default:
+			}
+			if aborted {
+				break
+			}
+		}
 		if n.tryLeap(drainEnd) {
 			continue
 		}
@@ -389,6 +437,7 @@ func (n *Network) Run() Result {
 		measFlits += s.measFlits
 	}
 	res := Result{
+		Aborted:         aborted,
 		MeasuredPackets: n.measuredCreated,
 		Unfinished:      n.inFlight,
 		Cycles:          n.now,

@@ -1,0 +1,119 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+)
+
+// Group coalesces concurrent in-flight work by key: while one computation
+// for a key is running, every further Do call with that key attaches to it
+// instead of starting a second one — the "millions of users asking for the
+// same curve" all cost one simulation.
+//
+// Cancellation is refcounted: each attached caller contributes its own
+// context, and the underlying computation's context is cancelled only when
+// the last attached caller has gone. A caller whose context fires detaches
+// immediately (its Do returns ctx.Err()) without disturbing the others.
+// Once an abandoned computation is cancelled, the key is released, so a
+// later request starts fresh instead of inheriting a doomed run.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when fn returns
+	val  []byte
+	err  error
+
+	waiters   int  // attached callers still waiting
+	finished  bool // fn has returned
+	abandoned bool // removed from the map before finishing (all waiters left)
+	cancel    context.CancelFunc
+}
+
+// NewGroup builds an empty coalescing group.
+func NewGroup() *Group {
+	return &Group{m: make(map[string]*flightCall)}
+}
+
+// Do runs fn for key, coalescing with any in-flight call for the same key.
+// It returns fn's result, and leader=true for the caller that started the
+// computation (false for callers that attached to an existing one). fn
+// receives a context that is cancelled when every attached caller's ctx has
+// fired; fn runs in its own goroutine, so even the leader detaches promptly
+// on cancellation.
+func (g *Group) Do(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) (val []byte, err error, leader bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		return c.wait(ctx, g, key), c.errOr(ctx), false
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		v, e := fn(runCtx)
+		g.mu.Lock()
+		c.val, c.err, c.finished = v, e, true
+		if !c.abandoned {
+			delete(g.m, key)
+		}
+		g.mu.Unlock()
+		close(c.done)
+		cancel()
+	}()
+	return c.wait(ctx, g, key), c.errOr(ctx), true
+}
+
+// wait blocks until the call completes or ctx fires, handling detach
+// bookkeeping; it returns the call's value (nil when the caller detached
+// early).
+func (c *flightCall) wait(ctx context.Context, g *Group, key string) []byte {
+	select {
+	case <-c.done:
+		return c.val
+	case <-ctx.Done():
+		g.mu.Lock()
+		// Re-check under the lock: the call may have completed between the
+		// select firing and acquiring the lock.
+		select {
+		case <-c.done:
+			g.mu.Unlock()
+			return c.val
+		default:
+		}
+		c.waiters--
+		if c.waiters == 0 && !c.finished {
+			if !c.abandoned {
+				delete(g.m, key)
+				c.abandoned = true
+			}
+			c.cancel()
+		}
+		g.mu.Unlock()
+		return nil
+	}
+}
+
+// errOr returns the call's error once done, or the caller's context error
+// if it detached first.
+func (c *flightCall) errOr(ctx context.Context) error {
+	select {
+	case <-c.done:
+		return c.err
+	default:
+		return ctx.Err()
+	}
+}
+
+// InFlight reports how many distinct keys are currently being computed;
+// exposed for tests and the stats endpoint.
+func (g *Group) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightCoalesces pins the headline contract: N concurrent Do calls for
+// one key run fn exactly once, exactly one caller is the leader, and every
+// caller sees the same value.
+func TestFlightCoalesces(t *testing.T) {
+	g := NewGroup()
+	var runs atomic.Int64
+	release := make(chan struct{})
+	const N = 8
+	var leaders atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val, err, leader := g.Do(context.Background(), "k", func(ctx context.Context) ([]byte, error) {
+				runs.Add(1)
+				<-release
+				return []byte("result"), nil
+			})
+			if err != nil || string(val) != "result" {
+				t.Errorf("Do: %q %v", val, err)
+			}
+			if leader {
+				leaders.Add(1)
+			}
+		}()
+	}
+	// Let every goroutine attach before releasing the computation.
+	for g.InFlight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("fn ran %d times for %d concurrent callers, want 1", n, N)
+	}
+	if l := leaders.Load(); l != 1 {
+		t.Fatalf("%d leaders, want 1", l)
+	}
+	if g.InFlight() != 0 {
+		t.Fatal("key not released after completion")
+	}
+}
+
+func TestFlightDistinctKeysDoNotCoalesce(t *testing.T) {
+	g := NewGroup()
+	var runs atomic.Int64
+	var wg sync.WaitGroup
+	for _, k := range []string{"a", "b", "c"} {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Do(context.Background(), k, func(ctx context.Context) ([]byte, error) {
+				runs.Add(1)
+				return []byte(k), nil
+			})
+		}()
+	}
+	wg.Wait()
+	if n := runs.Load(); n != 3 {
+		t.Fatalf("distinct keys ran fn %d times, want 3", n)
+	}
+}
+
+// TestFlightErrorPropagates pins that a failing computation reports its
+// error to every attached caller.
+func TestFlightErrorPropagates(t *testing.T) {
+	g := NewGroup()
+	boom := errors.New("boom")
+	_, err, leader := g.Do(context.Background(), "k", func(ctx context.Context) ([]byte, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) || !leader {
+		t.Fatalf("err=%v leader=%v", err, leader)
+	}
+	if g.InFlight() != 0 {
+		t.Fatal("failed key not released")
+	}
+}
+
+// TestFlightLastWaiterCancels pins the refcounted-cancellation contract:
+// the computation's context fires only when the last attached caller has
+// detached, and the key is then released for fresh attempts.
+func TestFlightLastWaiterCancels(t *testing.T) {
+	g := NewGroup()
+	started := make(chan struct{})
+	cancelled := make(chan struct{})
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	fn := func(ctx context.Context) ([]byte, error) {
+		close(started)
+		<-ctx.Done()
+		close(cancelled)
+		return nil, ctx.Err()
+	}
+	errs := make(chan error, 2)
+	go func() { _, err, _ := g.Do(ctx1, "k", fn); errs <- err }()
+	<-started
+	go func() { _, err, _ := g.Do(ctx2, "k", fn); errs <- err }()
+	// Both callers attached; dropping only the first must NOT cancel.
+	time.Sleep(10 * time.Millisecond)
+	cancel1()
+	if err := <-errs; !errors.Is(err, context.Canceled) {
+		t.Fatalf("first caller: %v", err)
+	}
+	select {
+	case <-cancelled:
+		t.Fatal("computation cancelled while a caller was still attached")
+	case <-time.After(30 * time.Millisecond):
+	}
+	// Dropping the last caller must cancel the computation and free the key.
+	cancel2()
+	if err := <-errs; !errors.Is(err, context.Canceled) {
+		t.Fatalf("second caller: %v", err)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("computation not cancelled after last caller detached")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for g.InFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned key never released")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A fresh request for the key starts a fresh computation.
+	val, err, leader := g.Do(context.Background(), "k", func(ctx context.Context) ([]byte, error) {
+		return []byte("fresh"), nil
+	})
+	if err != nil || string(val) != "fresh" || !leader {
+		t.Fatalf("post-abandon Do: %q %v leader=%v", val, err, leader)
+	}
+}

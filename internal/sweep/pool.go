@@ -1,0 +1,103 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the bounded scheduler for cache-miss units: a fixed set of
+// persistent workers executes submitted tasks, so an arbitrary number of
+// concurrent requests degrades into an orderly queue instead of a fork
+// bomb of simulations. Tasks carry a context; a task whose context is
+// cancelled while still queued is skipped entirely, and a running task is
+// expected to observe its context itself (simulations poll it every
+// sim.AbortCheckInterval cycles), so abandoned work frees its worker
+// quickly.
+type Pool struct {
+	tasks   chan *poolTask
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	running atomic.Int64
+	done    atomic.Int64
+	skipped atomic.Int64
+}
+
+type poolTask struct {
+	ctx  context.Context
+	fn   func(context.Context)
+	done chan struct{}
+	ran  bool
+}
+
+// ErrPoolClosed is returned by Run after Close.
+var ErrPoolClosed = errors.New("sweep: pool closed")
+
+// NewPool starts a pool of `workers` goroutines (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{tasks: make(chan *poolTask)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		if t.ctx.Err() == nil {
+			p.running.Add(1)
+			t.fn(t.ctx)
+			p.running.Add(-1)
+			t.ran = true
+			p.done.Add(1)
+		} else {
+			p.skipped.Add(1)
+		}
+		close(t.done)
+	}
+}
+
+// Run blocks until a worker has executed fn (returning nil), or until ctx
+// fires first — while queued (the task is abandoned, fn never runs) or
+// while a worker was picking it up (fn may have been skipped); both return
+// ctx.Err(). fn's own handling of mid-run cancellation is fn's business:
+// Run reports only whether fn was invoked.
+func (p *Pool) Run(ctx context.Context, fn func(context.Context)) error {
+	if p.closed.Load() {
+		return ErrPoolClosed
+	}
+	t := &poolTask{ctx: ctx, fn: fn, done: make(chan struct{})}
+	select {
+	case p.tasks <- t:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	<-t.done
+	if !t.ran {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Running reports how many workers are executing a task right now.
+func (p *Pool) Running() int64 { return p.running.Load() }
+
+// Stats reports lifetime task counts (completed, skipped-before-start).
+func (p *Pool) Stats() (done, skipped int64) { return p.done.Load(), p.skipped.Load() }
+
+// Close stops accepting work and waits for the workers to drain. Safe to
+// call once; Run calls racing Close may panic on the closed channel, so
+// servers stop routing requests before closing their pool.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.tasks)
+	p.wg.Wait()
+}

@@ -1,0 +1,395 @@
+// Package sweep turns the batch simulation harness into a long-running,
+// multi-tenant service: sweep requests are split into per-(config, seed)
+// work units, each unit is identified by a canonical content hash of its
+// semantic configuration, and units are served from a bounded
+// content-addressed result store, an in-flight coalescing layer, and a
+// pooled scheduler with cooperative cancellation (see server.go).
+//
+// The unit schema grew out of cmd/benchjson's private structs; it is the
+// one serializable description of a simulation the CLIs, the benchmark
+// snapshots and the service all share. Results are bit-identical to the
+// batch CLI path by construction: a unit builds its sim.Config through the
+// same experiments.BuildSim the CLIs use, so the same (config, seed)
+// produces byte-equal output whether computed by cmd/repro, a sweepd cache
+// miss, or a sweepd cache hit (golden-tested in server_test.go).
+package sweep
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/arbiter"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// SchemaVersion is the current unit-config schema version. It is the first
+// field of the canonical serialization, so any schema growth — new fields,
+// changed defaults, changed canonicalization — must bump it, which rotates
+// every content key and prevents a new server from serving results cached
+// under old semantics.
+const SchemaVersion = 1
+
+// UnitConfig is one (config, seed) simulation unit: the semantic
+// description of a run, and nothing else. Execution hints — shard count,
+// worker placement, dense/leap reference paths — are deliberately excluded:
+// the simulator is bit-identical across all of them (the golden suite pins
+// this), so they must not influence the content key. They live in Exec.
+//
+// Zero values mean "default" and are filled by Normalized before hashing,
+// so a default-filled and an explicitly-spelled config produce the same
+// key.
+type UnitConfig struct {
+	// SchemaVersion pins the schema this config was written against;
+	// 0 means "current".
+	SchemaVersion int `json:"schema_version,omitempty"`
+	// Topo and VCsPerClass name a paper design point: "mesh" or "fbfly"
+	// with 1, 2 or 4 VCs per class (experiments.PointByName).
+	Topo        string `json:"topo"`
+	VCsPerClass int    `json:"vcs_per_class,omitempty"`
+	// VAArch/VAArb/VASparse select the VC allocator microarchitecture
+	// ("sep_if", "sep_of", "wf" × "rr", "m"); defaults sep_if/rr dense.
+	VAArch   string `json:"va_arch,omitempty"`
+	VAArb    string `json:"va_arb,omitempty"`
+	VASparse bool   `json:"va_sparse,omitempty"`
+	// SAArch/SAArb/SpecMode select the switch allocator and speculation
+	// scheme ("nonspec", "spec_gnt", "spec_req"); defaults sep_if/rr with
+	// the paper's pessimistic spec_req baseline.
+	SAArch   string `json:"sa_arch,omitempty"`
+	SAArb    string `json:"sa_arb,omitempty"`
+	SpecMode string `json:"spec_mode,omitempty"`
+	// Pattern is the traffic pattern name (traffic.NewPattern); default
+	// "uniform".
+	Pattern string `json:"pattern,omitempty"`
+	// Rate is the offered load in flits/cycle/terminal.
+	Rate float64 `json:"rate"`
+	// ReadFraction is the probability a transaction is a read; nil means
+	// the paper default 0.5, explicit 0 means all-write (mirrors
+	// sim.Config.ReadFraction).
+	ReadFraction *float64 `json:"read_fraction,omitempty"`
+	// BufDepth is the per-VC buffer depth in flits (default 8).
+	BufDepth int `json:"buf_depth,omitempty"`
+	// Warmup, Measure and Drain are the phase lengths in cycles (defaults
+	// mirror sim.Config: 2000/5000/20000).
+	Warmup  int `json:"warmup,omitempty"`
+	Measure int `json:"measure,omitempty"`
+	Drain   int `json:"drain,omitempty"`
+	// Seed makes the run deterministic. Zero is a valid seed and is NOT
+	// defaulted — two requests differing only in seed are different units.
+	Seed uint64 `json:"seed"`
+}
+
+// Exec carries the execution hints a server applies to every unit it
+// simulates. None of these fields may influence results (bit-identity is
+// golden-tested), so none participate in the content key.
+type Exec struct {
+	// Shards splits each simulation into concurrently stepped router
+	// groups (sim.Config.Shards).
+	Shards int `json:"shards,omitempty"`
+	// Dense and DenseRequests select the reference scheduler / request
+	// paths; Leap enables event leaping. All bit-identical axes.
+	Dense         bool `json:"dense,omitempty"`
+	DenseRequests bool `json:"dense_requests,omitempty"`
+	Leap          bool `json:"leap,omitempty"`
+}
+
+// Normalized returns the config with every defaultable zero field filled
+// in. Hashing and simulation both go through the normalized form, so a
+// sparse request and its fully spelled-out equivalent are the same unit.
+func (c UnitConfig) Normalized() UnitConfig {
+	if c.SchemaVersion == 0 {
+		c.SchemaVersion = SchemaVersion
+	}
+	if c.Topo == "" {
+		c.Topo = "mesh"
+	}
+	if c.VCsPerClass == 0 {
+		c.VCsPerClass = 1
+	}
+	if c.VAArch == "" {
+		c.VAArch = alloc.SepIF.String()
+	}
+	if c.VAArb == "" {
+		c.VAArb = arbiter.RoundRobin.String()
+	}
+	if c.SAArch == "" {
+		c.SAArch = alloc.SepIF.String()
+	}
+	if c.SAArb == "" {
+		c.SAArb = arbiter.RoundRobin.String()
+	}
+	if c.SpecMode == "" {
+		c.SpecMode = core.SpecReq.String()
+	}
+	if c.Pattern == "" {
+		c.Pattern = "uniform"
+	}
+	if c.ReadFraction == nil {
+		rf := 0.5
+		c.ReadFraction = &rf
+	}
+	if c.BufDepth == 0 {
+		c.BufDepth = 8
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2000
+	}
+	if c.Measure == 0 {
+		c.Measure = 5000
+	}
+	if c.Drain == 0 {
+		c.Drain = 20000
+	}
+	return c
+}
+
+// Validate checks the normalized config against the design-point,
+// allocator and pattern vocabularies, without building a network.
+func (c UnitConfig) Validate() error {
+	c = c.Normalized()
+	if c.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("sweep: schema version %d not supported (have %d)", c.SchemaVersion, SchemaVersion)
+	}
+	pt, err := experiments.PointByName(c.Topo, c.VCsPerClass)
+	if err != nil {
+		return err
+	}
+	if _, err := ParseArch(c.VAArch); err != nil {
+		return fmt.Errorf("sweep: va_arch: %w", err)
+	}
+	if _, err := ParseArb(c.VAArb); err != nil {
+		return fmt.Errorf("sweep: va_arb: %w", err)
+	}
+	if _, err := ParseArch(c.SAArch); err != nil {
+		return fmt.Errorf("sweep: sa_arch: %w", err)
+	}
+	if _, err := ParseArb(c.SAArb); err != nil {
+		return fmt.Errorf("sweep: sa_arb: %w", err)
+	}
+	if _, err := ParseSpecMode(c.SpecMode); err != nil {
+		return err
+	}
+	// Patterns are defined over the design point's terminal count (both
+	// paper networks have 64 terminals).
+	if _, err := traffic.NewPattern(c.Pattern, terminalsFor(pt)); err != nil {
+		return err
+	}
+	if c.Rate < 0 || c.Rate > 1 {
+		return fmt.Errorf("sweep: rate %g outside [0, 1]", c.Rate)
+	}
+	if rf := *c.ReadFraction; rf < 0 || rf > 1 {
+		return fmt.Errorf("sweep: read_fraction %g outside [0, 1]", rf)
+	}
+	if c.BufDepth < 1 {
+		return fmt.Errorf("sweep: buf_depth %d < 1", c.BufDepth)
+	}
+	if c.Warmup < 0 || c.Measure < 1 || c.Drain < 0 {
+		return fmt.Errorf("sweep: bad phase lengths warmup=%d measure=%d drain=%d", c.Warmup, c.Measure, c.Drain)
+	}
+	return nil
+}
+
+// terminalsFor returns a design point's terminal count without
+// instantiating the topology (both paper networks concentrate to 64).
+func terminalsFor(pt experiments.Point) int { return 64 }
+
+// canonical renders the normalized config in the fixed field order the
+// content hash is defined over. Rules (DESIGN.md §10):
+//   - fields appear in schema declaration order, one "name=value" per
+//     line, after a "noc-sweep/v<version>" preamble;
+//   - floats are formatted as exact hexadecimal ('x', -1, 64), so every
+//     distinct float64 bit pattern — and nothing else — changes the key;
+//   - booleans render as 0/1, integers in decimal;
+//   - execution hints never appear.
+//
+// Renaming, reordering or adding fields therefore changes canonical output
+// only together with a SchemaVersion bump (the pinned golden hash test
+// breaks loudly otherwise).
+func (c UnitConfig) canonical() string {
+	c = c.Normalized()
+	var b strings.Builder
+	b.Grow(256)
+	fmt.Fprintf(&b, "noc-sweep/v%d\n", c.SchemaVersion)
+	wr := func(name, val string) {
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(val)
+		b.WriteByte('\n')
+	}
+	bol := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	wr("topo", c.Topo)
+	wr("vcs_per_class", strconv.Itoa(c.VCsPerClass))
+	wr("va_arch", c.VAArch)
+	wr("va_arb", c.VAArb)
+	wr("va_sparse", bol(c.VASparse))
+	wr("sa_arch", c.SAArch)
+	wr("sa_arb", c.SAArb)
+	wr("spec_mode", c.SpecMode)
+	wr("pattern", c.Pattern)
+	wr("rate", strconv.FormatFloat(c.Rate, 'x', -1, 64))
+	wr("read_fraction", strconv.FormatFloat(*c.ReadFraction, 'x', -1, 64))
+	wr("buf_depth", strconv.Itoa(c.BufDepth))
+	wr("warmup", strconv.Itoa(c.Warmup))
+	wr("measure", strconv.Itoa(c.Measure))
+	wr("drain", strconv.Itoa(c.Drain))
+	wr("seed", strconv.FormatUint(c.Seed, 10))
+	return b.String()
+}
+
+// Key returns the unit's content address: the hex SHA-256 of its canonical
+// serialization. Two configs get the same key iff they describe the same
+// simulation semantics under the current schema version.
+func (c UnitConfig) Key() string {
+	sum := sha256.Sum256([]byte(c.canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// BuildSim assembles the unit's sim.Config through the same
+// experiments.BuildSim path the batch CLIs use, then applies the unit's
+// allocator/pattern/workload overrides and the server's execution hints.
+func (c UnitConfig) BuildSim(exec Exec) (sim.Config, error) {
+	c = c.Normalized()
+	if err := c.Validate(); err != nil {
+		return sim.Config{}, err
+	}
+	pt, err := experiments.PointByName(c.Topo, c.VCsPerClass)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	scale := experiments.SimScale{
+		Warmup: c.Warmup, Measure: c.Measure, Drain: c.Drain, Seed: c.Seed,
+		Shards: exec.Shards, Dense: exec.Dense, DenseRequests: exec.DenseRequests, Leap: exec.Leap,
+	}
+	cfg := experiments.BuildSim(pt, c.Rate, scale)
+	cfg.VA.Arch, _ = ParseArch(c.VAArch)
+	cfg.VA.ArbKind, _ = ParseArb(c.VAArb)
+	cfg.VA.Sparse = c.VASparse
+	cfg.SA.Arch, _ = ParseArch(c.SAArch)
+	cfg.SA.ArbKind, _ = ParseArb(c.SAArb)
+	cfg.SA.SpecMode, _ = ParseSpecMode(c.SpecMode)
+	cfg.BufDepth = c.BufDepth
+	cfg.ReadFraction = c.ReadFraction
+	if c.Pattern != "uniform" {
+		p, err := traffic.NewPattern(c.Pattern, cfg.Topology.Terminals())
+		if err != nil {
+			return sim.Config{}, err
+		}
+		cfg.Pattern = p
+	}
+	return cfg, nil
+}
+
+// UnitResult is the serializable outcome of one unit: the NetPoint fields
+// the curve tools plot, plus the extended statistics sim.Result reports.
+// The service caches the marshaled bytes, so a cache hit is byte-equal to
+// the miss that produced it.
+type UnitResult struct {
+	SchemaVersion int        `json:"schema_version"`
+	Key           string     `json:"key"`
+	Config        UnitConfig `json:"config"`
+
+	Rate       float64 `json:"rate"`
+	Latency    float64 `json:"latency"`
+	Throughput float64 `json:"throughput"`
+	Saturated  bool    `json:"saturated"`
+	Cycles     int64   `json:"cycles"`
+
+	MeasuredPackets int     `json:"measured_packets"`
+	Unfinished      int     `json:"unfinished"`
+	FlitsDelivered  int64   `json:"flits_delivered"`
+	LatencyP50      int     `json:"latency_p50"`
+	LatencyP99      int     `json:"latency_p99"`
+	LatencyMax      int     `json:"latency_max"`
+	AvgHops         float64 `json:"avg_hops"`
+}
+
+// NetPoint converts the result to the experiments curve-point type, so a
+// client can assemble service results into the exact NetSeries the batch
+// tools produce (bit-identical; see the golden test).
+func (r UnitResult) NetPoint() experiments.NetPoint {
+	return experiments.NetPoint{
+		Rate: r.Rate, Latency: r.Latency, Throughput: r.Throughput,
+		Saturated: r.Saturated, Cycles: r.Cycles,
+	}
+}
+
+// RunUnit simulates one unit to completion (or until ctx is cancelled,
+// checked every sim.AbortCheckInterval cycles; a cancelled run returns
+// ctx.Err() and no result).
+func RunUnit(ctx context.Context, c UnitConfig, exec Exec) (UnitResult, error) {
+	c = c.Normalized()
+	cfg, err := c.BuildSim(exec)
+	if err != nil {
+		return UnitResult{}, err
+	}
+	res := sim.New(cfg).RunCtx(ctx)
+	if res.Aborted {
+		err := ctx.Err()
+		if err == nil {
+			err = context.Canceled
+		}
+		return UnitResult{}, err
+	}
+	return UnitResult{
+		SchemaVersion:   c.SchemaVersion,
+		Key:             c.Key(),
+		Config:          c,
+		Rate:            c.Rate,
+		Latency:         res.AvgLatency,
+		Throughput:      res.Throughput,
+		Saturated:       res.Saturated,
+		Cycles:          res.Cycles,
+		MeasuredPackets: res.MeasuredPackets,
+		Unfinished:      res.Unfinished,
+		FlitsDelivered:  res.FlitsDelivered,
+		LatencyP50:      res.LatencyP50,
+		LatencyP99:      res.LatencyP99,
+		LatencyMax:      res.LatencyMax,
+		AvgHops:         res.AvgHops,
+	}, nil
+}
+
+// ParseArch parses an allocator architecture name as rendered by
+// alloc.Arch.String ("sep_if", "sep_of", "wf").
+func ParseArch(s string) (alloc.Arch, error) {
+	for _, a := range []alloc.Arch{alloc.SepIF, alloc.SepOF, alloc.Wavefront} {
+		if s == a.String() {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("sweep: unknown allocator architecture %q", s)
+}
+
+// ParseArb parses an arbiter kind name as rendered by arbiter.Kind.String
+// ("rr", "m").
+func ParseArb(s string) (arbiter.Kind, error) {
+	for _, k := range []arbiter.Kind{arbiter.RoundRobin, arbiter.Matrix} {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("sweep: unknown arbiter kind %q", s)
+}
+
+// ParseSpecMode parses a speculation scheme name as rendered by
+// core.SpecMode.String ("nonspec", "spec_gnt", "spec_req").
+func ParseSpecMode(s string) (core.SpecMode, error) {
+	for _, m := range []core.SpecMode{core.SpecNone, core.SpecGnt, core.SpecReq} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("sweep: unknown speculation mode %q", s)
+}

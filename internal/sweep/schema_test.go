@@ -1,0 +1,156 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKeyDefaultsVsExplicit pins canonicalization rule #1: a sparse config
+// and its fully spelled-out equivalent are the same unit.
+func TestKeyDefaultsVsExplicit(t *testing.T) {
+	sparse := UnitConfig{Topo: "mesh", Rate: 0.3, Seed: 42}
+	rf := 0.5
+	explicit := UnitConfig{
+		SchemaVersion: SchemaVersion,
+		Topo:          "mesh",
+		VCsPerClass:   1,
+		VAArch:        "sep_if",
+		VAArb:         "rr",
+		SAArch:        "sep_if",
+		SAArb:         "rr",
+		SpecMode:      "spec_req",
+		Pattern:       "uniform",
+		Rate:          0.3,
+		ReadFraction:  &rf,
+		BufDepth:      8,
+		Warmup:        2000,
+		Measure:       5000,
+		Drain:         20000,
+		Seed:          42,
+	}
+	if sparse.Key() != explicit.Key() {
+		t.Fatalf("default-filled and explicit configs hash differently:\n%s\nvs\n%s",
+			sparse.Normalized().canonical(), explicit.canonical())
+	}
+}
+
+// TestKeySensitivity pins that every semantic field moves the key.
+func TestKeySensitivity(t *testing.T) {
+	base := UnitConfig{Topo: "mesh", Rate: 0.3, Seed: 42}
+	baseKey := base.Key()
+	rf0 := 0.0
+	mutations := map[string]UnitConfig{
+		"topo":          {Topo: "fbfly", Rate: 0.3, Seed: 42},
+		"vcs_per_class": {Topo: "mesh", VCsPerClass: 2, Rate: 0.3, Seed: 42},
+		"va_arch":       {Topo: "mesh", VAArch: "wf", Rate: 0.3, Seed: 42},
+		"va_arb":        {Topo: "mesh", VAArb: "m", Rate: 0.3, Seed: 42},
+		"va_sparse":     {Topo: "mesh", VASparse: true, Rate: 0.3, Seed: 42},
+		"sa_arch":       {Topo: "mesh", SAArch: "sep_of", Rate: 0.3, Seed: 42},
+		"sa_arb":        {Topo: "mesh", SAArb: "m", Rate: 0.3, Seed: 42},
+		"spec_mode":     {Topo: "mesh", SpecMode: "nonspec", Rate: 0.3, Seed: 42},
+		"pattern":       {Topo: "mesh", Pattern: "transpose", Rate: 0.3, Seed: 42},
+		"rate":          {Topo: "mesh", Rate: 0.30000000000000004, Seed: 42},
+		"read_fraction": {Topo: "mesh", ReadFraction: &rf0, Rate: 0.3, Seed: 42},
+		"buf_depth":     {Topo: "mesh", BufDepth: 4, Rate: 0.3, Seed: 42},
+		"warmup":        {Topo: "mesh", Warmup: 100, Rate: 0.3, Seed: 42},
+		"measure":       {Topo: "mesh", Measure: 100, Rate: 0.3, Seed: 42},
+		"drain":         {Topo: "mesh", Drain: 100, Rate: 0.3, Seed: 42},
+		"seed":          {Topo: "mesh", Rate: 0.3, Seed: 43},
+	}
+	seen := map[string]string{baseKey: "base"}
+	for field, cfg := range mutations {
+		k := cfg.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutating %s collides with %s", field, prev)
+		}
+		seen[k] = field
+	}
+}
+
+// TestKeyGoldenPinned pins the canonical serialization and its hash for one
+// fully specified config. Any change here is a schema change: if this test
+// breaks, either revert the serialization change or bump SchemaVersion and
+// re-pin — silently re-keying a deployed cache is the failure mode this
+// guards against.
+func TestKeyGoldenPinned(t *testing.T) {
+	cfg := UnitConfig{Topo: "mesh", Rate: 0.3, Seed: 42}
+	wantCanonical := strings.Join([]string{
+		"noc-sweep/v1",
+		"topo=mesh",
+		"vcs_per_class=1",
+		"va_arch=sep_if",
+		"va_arb=rr",
+		"va_sparse=0",
+		"sa_arch=sep_if",
+		"sa_arb=rr",
+		"spec_mode=spec_req",
+		"pattern=uniform",
+		"rate=0x1.3333333333333p-02",
+		"read_fraction=0x1p-01",
+		"buf_depth=8",
+		"warmup=2000",
+		"measure=5000",
+		"drain=20000",
+		"seed=42",
+		"",
+	}, "\n")
+	if got := cfg.Normalized().canonical(); got != wantCanonical {
+		t.Fatalf("canonical serialization changed (schema change? bump SchemaVersion and re-pin):\ngot:\n%s\nwant:\n%s", got, wantCanonical)
+	}
+	const wantKey = "d119d5559817b55adf7c85b4c9e9f921ae860e0c838a454182b0256752ba1ab2"
+	if got := cfg.Key(); got != wantKey {
+		t.Fatalf("pinned golden key changed:\ngot  %s\nwant %s", got, wantKey)
+	}
+}
+
+// TestNormalizedIdempotent pins that normalization is a fixed point.
+func TestNormalizedIdempotent(t *testing.T) {
+	c := UnitConfig{Topo: "fbfly", VCsPerClass: 4, Rate: 0.5, Seed: 7}.Normalized()
+	if c2 := c.Normalized(); c2.Key() != c.Key() {
+		t.Fatal("Normalized is not idempotent")
+	}
+}
+
+// TestValidateRejects pins the validation vocabulary.
+func TestValidateRejects(t *testing.T) {
+	bad := []UnitConfig{
+		{Topo: "hypercube", Rate: 0.1},
+		{Topo: "mesh", VCsPerClass: 3, Rate: 0.1},
+		{Topo: "mesh", VAArch: "magic", Rate: 0.1},
+		{Topo: "mesh", SAArb: "lru", Rate: 0.1},
+		{Topo: "mesh", SpecMode: "optimistic", Rate: 0.1},
+		{Topo: "mesh", Pattern: "hotspot99", Rate: 0.1},
+		{Topo: "mesh", Rate: 1.5},
+		{Topo: "mesh", Rate: -0.1},
+		{Topo: "mesh", Rate: 0.1, BufDepth: -1},
+		{Topo: "mesh", Rate: 0.1, Measure: -5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d validated: %+v", i, cfg)
+		}
+	}
+	good := UnitConfig{Topo: "fbfly", VCsPerClass: 2, SAArch: "wf", SpecMode: "nonspec", Pattern: "tornado", Rate: 0.4, Seed: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+}
+
+// TestBuildSimMatchesBatchPath pins that a unit builds the exact sim.Config
+// the batch CLI path builds for the same design point and scale.
+func TestBuildSimMatchesBatchPath(t *testing.T) {
+	u := UnitConfig{Topo: "mesh", VCsPerClass: 2, Rate: 0.25, Seed: 42, Warmup: 500, Measure: 1000, Drain: 4000}
+	cfg, err := u.BuildSim(Exec{Shards: 4, Leap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.InjectionRate != 0.25 || cfg.Seed != 42 || cfg.Shards != 4 || !cfg.Leap {
+		t.Fatalf("BuildSim dropped fields: %+v", cfg)
+	}
+	if cfg.Spec.VCsPerClass != 2 || cfg.Topology == nil || cfg.Routing == nil {
+		t.Fatalf("BuildSim missing design point wiring: %+v", cfg)
+	}
+	if *cfg.ReadFraction != 0.5 || cfg.BufDepth != 8 {
+		t.Fatalf("BuildSim defaults wrong: rf=%v buf=%d", *cfg.ReadFraction, cfg.BufDepth)
+	}
+}

@@ -1,0 +1,383 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Request is the body of POST /sweep: a base unit plus optional expansion
+// axes. The axes cross-multiply over the base — every listed switch
+// allocator × speculation mode × pattern × seed × rate becomes one unit
+// (an omitted axis keeps the base's own value) — and any explicitly listed
+// Units are appended after the expansion. Unit order is deterministic:
+// rates vary fastest, then seeds, patterns, spec modes, and sa_archs
+// slowest, so clients can index results positionally as well as by key.
+type Request struct {
+	// Base is the unit template; zero fields take schema defaults.
+	Base UnitConfig `json:"base"`
+	// SAArchs, SpecModes, Patterns, Seeds and Rates are the expansion axes.
+	SAArchs   []string  `json:"sa_archs,omitempty"`
+	SpecModes []string  `json:"spec_modes,omitempty"`
+	Patterns  []string  `json:"patterns,omitempty"`
+	Seeds     []uint64  `json:"seeds,omitempty"`
+	Rates     []float64 `json:"rates,omitempty"`
+	// Units are appended verbatim (each normalized independently).
+	Units []UnitConfig `json:"units,omitempty"`
+}
+
+// Expand flattens the request into its normalized, validated unit list.
+func (r Request) Expand() ([]UnitConfig, error) {
+	archs := r.SAArchs
+	if len(archs) == 0 {
+		archs = []string{r.Base.SAArch}
+	}
+	modes := r.SpecModes
+	if len(modes) == 0 {
+		modes = []string{r.Base.SpecMode}
+	}
+	patterns := r.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{r.Base.Pattern}
+	}
+	seeds := r.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{r.Base.Seed}
+	}
+	rates := r.Rates
+	if len(rates) == 0 {
+		rates = []float64{r.Base.Rate}
+	}
+	var units []UnitConfig
+	for _, arch := range archs {
+		for _, mode := range modes {
+			for _, pat := range patterns {
+				for _, seed := range seeds {
+					for _, rate := range rates {
+						u := r.Base
+						u.SAArch, u.SpecMode, u.Pattern, u.Seed, u.Rate = arch, mode, pat, seed, rate
+						units = append(units, u.Normalized())
+					}
+				}
+			}
+		}
+	}
+	units = append(units, r.Units...)
+	for i := range units {
+		units[i] = units[i].Normalized()
+		if err := units[i].Validate(); err != nil {
+			return nil, fmt.Errorf("unit %d: %w", i, err)
+		}
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("sweep: request expands to zero units")
+	}
+	return units, nil
+}
+
+// UnitUpdate is one NDJSON line of a sweep response: the outcome of one
+// unit. Result carries the cached bytes verbatim (json.RawMessage), so a
+// hit is byte-equal to the miss that populated the store.
+type UnitUpdate struct {
+	// Index is the unit's position in the expanded request.
+	Index int `json:"index"`
+	// Key is the unit's content address.
+	Key string `json:"key"`
+	// Status is "hit" (served from the store), "miss" (this request ran
+	// the simulation), "coalesced" (attached to another request's
+	// in-flight simulation), "canceled", or "error".
+	Status string `json:"status"`
+	// Result is the marshaled UnitResult (absent on error/cancel).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error describes a failed unit.
+	Error string `json:"error,omitempty"`
+	// ElapsedNS is the service time for this unit within this request.
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// SweepSummary is the final NDJSON line of a sweep response.
+type SweepSummary struct {
+	Done      bool  `json:"done"`
+	Units     int   `json:"units"`
+	Hits      int   `json:"hits"`
+	Misses    int   `json:"misses"`
+	Coalesced int   `json:"coalesced"`
+	Errors    int   `json:"errors"`
+	Canceled  int   `json:"canceled"`
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// Options configures a Server.
+type Options struct {
+	// Defaults fills a request's zero phase lengths and seed before
+	// normalization (a sweepd -warmup/-measure/-drain/-seed flag set);
+	// zero fields fall back to the schema defaults.
+	Defaults experiments.SimScale
+	// Exec carries the execution hints applied to every simulated unit.
+	Exec Exec
+	// Workers bounds concurrently running simulations (default
+	// 1; sweepd passes GOMAXPROCS).
+	Workers int
+	// MaxEntries / MaxBytes bound the result store (defaults 4096 entries,
+	// 64 MiB).
+	MaxEntries int
+	MaxBytes   int64
+	// UnitConcurrency bounds per-request unit fan-out (hits and
+	// coalesced units are nearly free, so this is higher than Workers;
+	// default 4×Workers).
+	UnitConcurrency int
+}
+
+// Server implements the sweep service: POST /sweep streams per-unit NDJSON
+// results through the store → coalescing → pool stack; GET /healthz and
+// GET /statz report liveness and counters.
+type Server struct {
+	defaults experiments.SimScale
+	exec     Exec
+	store    *Store
+	flight   *Group
+	pool     *Pool
+	unitConc int
+
+	simRuns   atomic.Int64
+	unitsDone atomic.Int64
+	requests  atomic.Int64
+}
+
+// NewServer builds a server; callers own its lifetime and should Close it.
+func NewServer(opts Options) *Server {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.MaxEntries == 0 {
+		opts.MaxEntries = 4096
+	}
+	if opts.MaxBytes == 0 {
+		opts.MaxBytes = 64 << 20
+	}
+	if opts.UnitConcurrency < 1 {
+		opts.UnitConcurrency = 4 * opts.Workers
+	}
+	return &Server{
+		defaults: opts.Defaults,
+		exec:     opts.Exec,
+		store:    NewStore(opts.MaxEntries, opts.MaxBytes),
+		flight:   NewGroup(),
+		pool:     NewPool(opts.Workers),
+		unitConc: opts.UnitConcurrency,
+	}
+}
+
+// Close stops the worker pool (in-flight tasks drain first).
+func (s *Server) Close() { s.pool.Close() }
+
+// SimRuns reports how many simulations the server has actually executed —
+// the coalescing and cache tests assert against this counter.
+func (s *Server) SimRuns() int64 { return s.simRuns.Load() }
+
+// Store exposes the result store (tests inspect eviction accounting).
+func (s *Server) Store() *Store { return s.store }
+
+// Handler returns the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sweep", s.handleSweep)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	mux.HandleFunc("/statz", s.handleStatz)
+	return mux
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	poolDone, poolSkipped := s.pool.Stats()
+	stats := struct {
+		SchemaVersion int        `json:"schema_version"`
+		Requests      int64      `json:"requests"`
+		UnitsServed   int64      `json:"units_served"`
+		SimRuns       int64      `json:"sim_runs"`
+		InFlight      int        `json:"in_flight"`
+		PoolRunning   int64      `json:"pool_running"`
+		PoolDone      int64      `json:"pool_done"`
+		PoolSkipped   int64      `json:"pool_skipped"`
+		Store         StoreStats `json:"store"`
+	}{
+		SchemaVersion: SchemaVersion,
+		Requests:      s.requests.Load(),
+		UnitsServed:   s.unitsDone.Load(),
+		SimRuns:       s.simRuns.Load(),
+		InFlight:      s.flight.InFlight(),
+		PoolRunning:   s.pool.Running(),
+		PoolDone:      poolDone,
+		PoolSkipped:   poolSkipped,
+		Store:         s.store.Stats(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(stats)
+}
+
+// applyDefaults fills a unit's zero phase/seed fields from the server's
+// configured defaults (flag-level defaults sit below schema-level ones).
+func (s *Server) applyDefaults(u UnitConfig) UnitConfig {
+	if u.Warmup == 0 {
+		u.Warmup = s.defaults.Warmup
+	}
+	if u.Measure == 0 {
+		u.Measure = s.defaults.Measure
+	}
+	if u.Drain == 0 {
+		u.Drain = s.defaults.Drain
+	}
+	if u.Seed == 0 && s.defaults.Seed != 0 {
+		u.Seed = s.defaults.Seed
+	}
+	return u
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Add(1)
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req.Base = s.applyDefaults(req.Base)
+	for i := range req.Units {
+		req.Units[i] = s.applyDefaults(req.Units[i])
+	}
+	units, err := req.Expand()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	var writeMu sync.Mutex
+	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	ctx := r.Context()
+	start := time.Now()
+	var summary SweepSummary
+	var sumMu sync.Mutex
+	account := func(status string) {
+		sumMu.Lock()
+		defer sumMu.Unlock()
+		switch status {
+		case "hit":
+			summary.Hits++
+		case "miss":
+			summary.Misses++
+		case "coalesced":
+			summary.Coalesced++
+		case "error":
+			summary.Errors++
+		case "canceled":
+			summary.Canceled++
+		}
+	}
+
+	sem := make(chan struct{}, s.unitConc)
+	var wg sync.WaitGroup
+	for i, u := range units {
+		i, u := i, u
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			unitStart := time.Now()
+			upd := UnitUpdate{Index: i, Key: u.Key()}
+			if ctx.Err() != nil {
+				upd.Status = "canceled"
+				upd.Error = ctx.Err().Error()
+			} else {
+				data, status, err := s.serveUnit(ctx, u, upd.Key)
+				upd.Status = status
+				if err != nil {
+					upd.Error = err.Error()
+				} else {
+					upd.Result = data
+				}
+			}
+			upd.ElapsedNS = time.Since(unitStart).Nanoseconds()
+			account(upd.Status)
+			s.unitsDone.Add(1)
+			emit(upd)
+		}()
+	}
+	wg.Wait()
+	summary.Done = true
+	summary.Units = len(units)
+	summary.ElapsedNS = time.Since(start).Nanoseconds()
+	emit(summary)
+}
+
+// serveUnit resolves one unit through the three perf layers: store lookup,
+// in-flight coalescing, then a pooled simulation on a true miss. The
+// returned bytes come from the store (or the computation that populated
+// it) verbatim.
+func (s *Server) serveUnit(ctx context.Context, u UnitConfig, key string) (data []byte, status string, err error) {
+	if b, ok := s.store.Get(key); ok {
+		return b, "hit", nil
+	}
+	val, err, leader := s.flight.Do(ctx, key, func(runCtx context.Context) ([]byte, error) {
+		// Re-check under coalescing: a previous leader may have populated
+		// the store between our Get and the flight admission.
+		if b, ok := s.store.Get(key); ok {
+			return b, nil
+		}
+		var res UnitResult
+		var runErr error
+		poolErr := s.pool.Run(runCtx, func(simCtx context.Context) {
+			s.simRuns.Add(1)
+			res, runErr = RunUnit(simCtx, u, s.exec)
+		})
+		if poolErr != nil {
+			return nil, poolErr
+		}
+		if runErr != nil {
+			return nil, runErr
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			return nil, err
+		}
+		s.store.Put(key, b)
+		return b, nil
+	})
+	switch {
+	case err != nil && ctx.Err() != nil:
+		return nil, "canceled", err
+	case err != nil:
+		return nil, "error", err
+	case leader:
+		return val, "miss", nil
+	default:
+		return val, "coalesced", nil
+	}
+}

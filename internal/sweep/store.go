@@ -1,0 +1,112 @@
+package sweep
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Store is the content-addressed result cache: canonical config key →
+// marshaled UnitResult bytes. It is LRU-evicting and doubly bounded (entry
+// count and total value bytes), so a long-lived server holds its working
+// set of popular curves without growing without bound. All methods are safe
+// for concurrent use.
+//
+// Values are stored and returned by reference; callers must treat them as
+// immutable (the server only ever writes them to responses).
+type Store struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type storeEntry struct {
+	key string
+	val []byte
+}
+
+// NewStore builds a store bounded to maxEntries entries and maxBytes total
+// value bytes; zero or negative disables the respective bound. A single
+// oversized value is still admitted (the store then holds that one entry),
+// so a pathological bound cannot wedge the service into simulating every
+// request twice.
+func NewStore(maxEntries int, maxBytes int64) *Store {
+	return &Store{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached bytes for key, marking the entry most recently
+// used.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.ll.MoveToFront(el)
+	return el.Value.(*storeEntry).val, true
+}
+
+// Put inserts or refreshes key, then evicts least-recently-used entries
+// until both bounds hold again (never evicting the entry just inserted).
+func (s *Store) Put(key string, val []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*storeEntry)
+		s.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[key] = s.ll.PushFront(&storeEntry{key: key, val: val})
+		s.bytes += int64(len(val))
+	}
+	for s.ll.Len() > 1 && s.overBudget() {
+		back := s.ll.Back()
+		e := back.Value.(*storeEntry)
+		s.ll.Remove(back)
+		delete(s.items, e.key)
+		s.bytes -= int64(len(e.val))
+		s.evictions++
+	}
+}
+
+func (s *Store) overBudget() bool {
+	if s.maxEntries > 0 && s.ll.Len() > s.maxEntries {
+		return true
+	}
+	if s.maxBytes > 0 && s.bytes > s.maxBytes {
+		return true
+	}
+	return false
+}
+
+// Stats reports the store's current size and lifetime counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Entries: s.ll.Len(), Bytes: s.bytes,
+		Hits: s.hits, Misses: s.misses, Evictions: s.evictions,
+	}
+}
+
+// StoreStats is a point-in-time snapshot of Store accounting.
+type StoreStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}

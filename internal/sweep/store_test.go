@@ -1,0 +1,86 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestStoreHitMiss(t *testing.T) {
+	s := NewStore(8, 0)
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("empty store hit")
+	}
+	s.Put("a", []byte("alpha"))
+	got, ok := s.Get("a")
+	if !ok || string(got) != "alpha" {
+		t.Fatalf("get after put: %q %v", got, ok)
+	}
+	s.Put("a", []byte("alpha2"))
+	got, _ = s.Get("a")
+	if string(got) != "alpha2" {
+		t.Fatalf("refresh did not replace: %q", got)
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Bytes != int64(len("alpha2")) {
+		t.Fatalf("accounting after refresh: %+v", st)
+	}
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hit/miss counters: %+v", st)
+	}
+}
+
+// TestStoreEntryEviction pins LRU order under the entry bound: the least
+// recently used key goes first, and a Get refreshes recency.
+func TestStoreEntryEviction(t *testing.T) {
+	s := NewStore(3, 0)
+	for _, k := range []string{"a", "b", "c"} {
+		s.Put(k, []byte(k))
+	}
+	s.Get("a") // now b is least recently used
+	s.Put("d", []byte("d"))
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("recently used entry %s was evicted", k)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("eviction accounting: %+v", st)
+	}
+}
+
+// TestStoreByteEviction pins the size bound: total value bytes stay within
+// budget, evicting LRU-first, and a single oversized value is still
+// admitted rather than thrashing.
+func TestStoreByteEviction(t *testing.T) {
+	s := NewStore(0, 10)
+	s.Put("a", []byte("aaaa")) // 4
+	s.Put("b", []byte("bbbb")) // 8
+	s.Put("c", []byte("cccc")) // 12 > 10 → evict a
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("byte bound did not evict LRU entry")
+	}
+	if st := s.Stats(); st.Bytes != 8 || st.Entries != 2 {
+		t.Fatalf("byte accounting: %+v", st)
+	}
+	huge := make([]byte, 64)
+	s.Put("huge", huge)
+	if _, ok := s.Get("huge"); !ok {
+		t.Fatal("oversized value was not admitted")
+	}
+	if st := s.Stats(); st.Entries != 1 || st.Bytes != 64 {
+		t.Fatalf("oversized admission accounting: %+v", st)
+	}
+}
+
+func TestStoreUnbounded(t *testing.T) {
+	s := NewStore(0, 0)
+	for i := 0; i < 1000; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if st := s.Stats(); st.Entries != 1000 || st.Evictions != 0 {
+		t.Fatalf("unbounded store evicted: %+v", st)
+	}
+}
