@@ -12,6 +12,10 @@
 //     cycle) and the masked entry point (only changed requests re-noted).
 //   - BENCH_quality.json: quality-harness timings — the matching-quality
 //     sweeps behind the Fig. 5/6 reproductions, serial and parallel.
+//   - BENCH_sweepd.json: sweep-service layer timings — cold miss vs warm
+//     content-store hit, and coalescing of concurrent identical requests.
+//   - BENCH_pareto.json: design-space search mechanisms — pruned-vs-brute
+//     simulation counts and disk-cold vs disk-warm search wall time.
 //
 // Usage:
 //
@@ -476,6 +480,7 @@ func main() {
 	trials := flag.Int("trials", 2000, "request matrices per quality rate point")
 	sweepdOut := flag.String("sweepdout", "BENCH_sweepd.json", "sweep service report output ('-' for stdout, '' to skip)")
 	hitIters := flag.Int("hititers", 200, "cache-hit serves averaged per sweepd measurement")
+	paretoOut := flag.String("paretoout", "BENCH_pareto.json", "design-space search report output ('-' for stdout, '' to skip)")
 	scaleOf := experiments.ScaleFlags(flag.CommandLine, benchScale)
 	flag.Parse()
 	benchScale = scaleOf()
@@ -494,5 +499,8 @@ func main() {
 	}
 	if *sweepdOut != "" {
 		emit(sweepdBench(*hitIters), *sweepdOut)
+	}
+	if *paretoOut != "" {
+		emit(paretoBench(), *paretoOut)
 	}
 }

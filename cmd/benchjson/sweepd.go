@@ -76,7 +76,11 @@ func sweepdBench(hitIters int) sweepdReport {
 		HitIters: hitIters,
 	}
 
-	srv := sweep.NewServer(sweep.Options{Workers: 2, Exec: sweep.Exec{Leap: true}})
+	srv, err := sweep.NewServer(sweep.Options{Workers: 2, Exec: sweep.Exec{Leap: true}})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	defer srv.Close()
 	h := srv.Handler()
 	rep.ColdMissNS = float64(postUnit(h, body).Nanoseconds())
@@ -89,7 +93,11 @@ func sweepdBench(hitIters int) sweepdReport {
 
 	// Coalescing throughput needs a cold server so every request races for
 	// the same in-flight simulation.
-	srv2 := sweep.NewServer(sweep.Options{Workers: 2, Exec: sweep.Exec{Leap: true}})
+	srv2, err := sweep.NewServer(sweep.Options{Workers: 2, Exec: sweep.Exec{Leap: true}})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	defer srv2.Close()
 	h2 := srv2.Handler()
 	const n = 8

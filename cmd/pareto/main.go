@@ -1,0 +1,151 @@
+// Command pareto runs the pruned Pareto design-space search over the
+// allocator zoo of Becker & Dally (SC '09): every VC-allocator architecture
+// × arbiter × sparse mode crossed with every switch-allocator architecture
+// × arbiter × speculation scheme, per VC count and topology. Each design
+// point is screened with the analytical cost model (delay, area, power) and
+// evaluated for accepted throughput by the cycle-accurate simulator at a
+// fixed offered load; the output is the per-topology Pareto-optimal set
+// over all four axes.
+//
+// Dominance pruning skips simulations it can prove cannot change the
+// frontier, canonical-hash dedup collapses equivalent spellings, and
+// -cachedir persists every simulated point so re-runs and refinements are
+// warm across processes (the same directory format sweepd serves from).
+//
+// Usage:
+//
+//	pareto                          # full space, table to stdout
+//	pareto -out pareto.json         # full result as JSON
+//	pareto -cachedir ~/.noc-sweep   # disk-warm across runs
+//	pareto -topos mesh -vcs 1,2 -noprune
+//	pareto -smoke                   # reduced space + tiny scale (CI)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dse"
+	"repro/internal/experiments"
+	"repro/internal/prof"
+	"repro/internal/sweep"
+)
+
+func main() {
+	out := flag.String("out", "", "write the full search result as JSON to this file ('-' = stdout)")
+	cacheDir := flag.String("cachedir", "", "disk cache directory shared with sweepd (empty = memory-only)")
+	topos := flag.String("topos", "", "comma-separated topologies to search (default mesh,fbfly)")
+	vcs := flag.String("vcs", "", "comma-separated VCs-per-class values (default 1,2,4)")
+	meshRate := flag.Float64("meshrate", 0, "mesh evaluation load (default 0.44)")
+	fbflyRate := flag.Float64("fbflyrate", 0, "fbfly evaluation load (default 0.60)")
+	noPrune := flag.Bool("noprune", false, "disable dominance pruning (simulate every feasible point; frontier is identical)")
+	smoke := flag.Bool("smoke", false, "reduced space at a tiny scale (CI smoke)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	scaleOf := experiments.ScaleFlags(flag.CommandLine,
+		experiments.SimScale{Warmup: 500, Measure: 1000, Drain: 4000, Seed: 42,
+			Workers: runtime.GOMAXPROCS(0), Leap: true})
+	flag.Parse()
+	scale := scaleOf()
+	stop := prof.Start(*cpuprofile, *memprofile)
+	defer stop()
+
+	spec := dse.Spec{
+		Topos:     splitCSV(*topos),
+		VCs:       splitInts(*vcs),
+		MeshRate:  *meshRate,
+		FbflyRate: *fbflyRate,
+		Warmup:    scale.Warmup, Measure: scale.Measure, Drain: scale.Drain,
+		Seed:    scale.Seed,
+		NoPrune: *noPrune,
+	}
+	if *smoke {
+		spec.Topos = []string{"mesh"}
+		spec.VCs = []int{1, 2}
+		spec.VAArbs = []string{"rr"}
+		spec.SAArbs = []string{"rr"}
+		spec.Warmup, spec.Measure, spec.Drain = 200, 400, 2000
+	}
+
+	srv, err := sweep.NewServer(sweep.Options{
+		Exec:     sweep.Exec{Shards: scale.Shards, Dense: scale.Dense, DenseRequests: scale.DenseRequests, Leap: scale.Leap},
+		Workers:  scale.Workers,
+		CacheDir: *cacheDir,
+	})
+	if err != nil {
+		log.Fatal("pareto: ", err)
+	}
+	defer srv.Close()
+
+	start := time.Now()
+	res, err := dse.Search(context.Background(), srv, spec, dse.SearchOptions{
+		Workers: scale.Workers,
+		Progress: func(simulated, pruned, feasible int) {
+			fmt.Fprintf(os.Stderr, "\rpareto: %d simulated, %d pruned / %d feasible", simulated, pruned, feasible)
+		},
+	})
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		log.Fatal("pareto: ", err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("design space: %d enumerated → %d distinct (%d dup spellings), %d infeasible, %d feasible\n",
+		res.Enumerated, res.Distinct, res.Enumerated-res.Distinct, res.Infeasible, res.Feasible)
+	fmt.Printf("search: %d simulated, %d pruned (%.0f%% of feasible skipped), %v",
+		res.Simulated, res.Pruned, 100*float64(res.Pruned)/float64(max(res.Feasible, 1)), elapsed.Round(time.Millisecond))
+	if d := srv.Disk(); d != nil {
+		ds := d.Stats()
+		fmt.Printf(" — disk cache %s: %d hits, %d writes", ds.Dir, ds.Hits, ds.Writes)
+	}
+	fmt.Printf("\n\nPareto frontier (%d points):\n", len(res.Frontier))
+	fmt.Printf("%-52s %9s %12s %9s %8s %8s\n", "design point", "delay ns", "area µm²", "power mW", "perf", "latency")
+	for _, p := range res.Frontier {
+		fmt.Printf("%-52s %9.3f %12.0f %9.2f %8.4f %8.1f\n",
+			p.Label, p.DelayNS, p.AreaUM2, p.PowerMW, p.Perf, p.Latency)
+	}
+
+	if *out != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal("pareto: ", err)
+		}
+		b = append(b, '\n')
+		if *out == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*out, b, 0o644); err != nil {
+			log.Fatal("pareto: ", err)
+		}
+	}
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func splitInts(s string) []int {
+	var out []int
+	for _, p := range splitCSV(s) {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			log.Fatalf("pareto: -vcs: %v", err)
+		}
+		out = append(out, n)
+	}
+	return out
+}

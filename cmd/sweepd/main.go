@@ -40,6 +40,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/dse"
 	"repro/internal/experiments"
 	"repro/internal/sweep"
 )
@@ -48,23 +49,29 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheEntries := flag.Int("cache-entries", 4096, "result store entry bound (0 = unbounded)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result store byte bound (0 = unbounded)")
-	selfcheck := flag.Bool("selfcheck", false, "run an in-process smoke test (cold miss, then byte-equal cache hit) and exit")
+	cacheDir := flag.String("cachedir", "", "disk cache directory (empty = memory-only); results persist across restarts in a schema-versioned subdirectory")
+	selfcheck := flag.Bool("selfcheck", false, "run an in-process smoke test (cold miss, then byte-equal cache hit; with -cachedir, also a restart warm hit) and exit")
 	scaleOf := experiments.ScaleFlags(flag.CommandLine,
 		experiments.SimScale{Workers: runtime.GOMAXPROCS(0), Leap: true})
 	flag.Parse()
 	scale := scaleOf()
 
-	srv := sweep.NewServer(sweep.Options{
+	opts := sweep.Options{
 		Defaults:   scale,
 		Exec:       sweep.Exec{Shards: scale.Shards, Dense: scale.Dense, DenseRequests: scale.DenseRequests, Leap: scale.Leap},
 		Workers:    scale.Workers,
 		MaxEntries: *cacheEntries,
 		MaxBytes:   *cacheBytes,
-	})
+		CacheDir:   *cacheDir,
+	}
+	srv, err := sweep.NewServer(opts)
+	if err != nil {
+		log.Fatal("sweepd: ", err)
+	}
 	defer srv.Close()
 
 	if *selfcheck {
-		if err := runSelfcheck(srv); err != nil {
+		if err := runSelfcheck(srv, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "sweepd selfcheck: FAIL:", err)
 			os.Exit(1)
 		}
@@ -72,17 +79,32 @@ func main() {
 		return
 	}
 
-	log.Printf("sweepd: listening on %s (workers=%d, cache %d entries / %d MiB, schema v%d)",
-		*addr, scale.Workers, *cacheEntries, *cacheBytes>>20, sweep.SchemaVersion)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	cacheDesc := "memory-only"
+	if *cacheDir != "" {
+		cacheDesc = "disk " + srv.Disk().Dir()
+	}
+	log.Printf("sweepd: listening on %s (workers=%d, cache %d entries / %d MiB, %s, schema v%d)",
+		*addr, scale.Workers, *cacheEntries, *cacheBytes>>20, cacheDesc, sweep.SchemaVersion)
+	log.Fatal(http.ListenAndServe(*addr, handler(srv)))
+}
+
+// handler mounts the sweep endpoints plus the design-space-search job API
+// (POST/GET/DELETE /pareto) on one mux.
+func handler(srv *sweep.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/pareto", dse.NewService(srv).Handler())
+	return mux
 }
 
 // runSelfcheck exercises the full endpoint stack against a live listener:
 // one quick Fig. 13 point requested twice must simulate exactly once, with
 // the second pass served entirely from the store and byte-equal to the
-// first. This is the CI endpoint smoke.
-func runSelfcheck(srv *sweep.Server) error {
-	ts := httptest.NewServer(srv.Handler())
+// first. With -cachedir set it additionally proves restart persistence: a
+// brand-new server on the same directory must serve the whole request from
+// disk without simulating. This is the CI endpoint smoke.
+func runSelfcheck(srv *sweep.Server, opts sweep.Options) error {
+	ts := httptest.NewServer(handler(srv))
 	defer ts.Close()
 
 	req := sweep.Request{
@@ -96,8 +118,8 @@ func runSelfcheck(srv *sweep.Server) error {
 	if err != nil {
 		return err
 	}
-	post := func() (results map[int]json.RawMessage, sum sweep.SweepSummary, err error) {
-		resp, err := http.Post(ts.URL+"/sweep", "application/json", bytes.NewReader(body))
+	post := func(base string) (results map[int]json.RawMessage, sum sweep.SweepSummary, err error) {
+		resp, err := http.Post(base+"/sweep", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return nil, sum, err
 		}
@@ -129,7 +151,7 @@ func runSelfcheck(srv *sweep.Server) error {
 	}
 
 	start := time.Now()
-	cold, coldSum, err := post()
+	cold, coldSum, err := post(ts.URL)
 	if err != nil {
 		return err
 	}
@@ -138,7 +160,7 @@ func runSelfcheck(srv *sweep.Server) error {
 		return fmt.Errorf("cold pass: %+v, want 4 misses", coldSum)
 	}
 	start = time.Now()
-	warm, warmSum, err := post()
+	warm, warmSum, err := post(ts.URL)
 	if err != nil {
 		return err
 	}
@@ -157,5 +179,40 @@ func runSelfcheck(srv *sweep.Server) error {
 	fmt.Printf("cold %v, warm %v (%0.0fx), 4 units, 4 sims, 4 hits\n",
 		coldElapsed.Round(time.Millisecond), warmElapsed.Round(time.Microsecond),
 		float64(coldElapsed)/float64(warmElapsed))
+
+	if opts.CacheDir == "" {
+		return nil
+	}
+	// Restart persistence: a fresh process on the same cache directory must
+	// be warm — every unit a disk-backed hit, zero simulations.
+	srv2, err := sweep.NewServer(opts)
+	if err != nil {
+		return err
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(handler(srv2))
+	defer ts2.Close()
+	start = time.Now()
+	restart, restartSum, err := post(ts2.URL)
+	if err != nil {
+		return err
+	}
+	restartElapsed := time.Since(start)
+	if restartSum.Hits != restartSum.Units {
+		return fmt.Errorf("restart pass: %+v, want all hits from disk", restartSum)
+	}
+	if got := srv2.SimRuns(); got != 0 {
+		return fmt.Errorf("restarted server ran %d simulations, want 0 (disk cache cold?)", got)
+	}
+	for i, b := range cold {
+		if !bytes.Equal(b, restart[i]) {
+			return fmt.Errorf("unit %d: disk-restored bytes differ from the original miss", i)
+		}
+	}
+	if hits := srv2.Disk().Stats().Hits; hits != int64(restartSum.Units) {
+		return fmt.Errorf("restart pass: %d disk hits, want %d", hits, restartSum.Units)
+	}
+	fmt.Printf("restart warm %v, 4 units, 0 sims, 4 disk hits (dir %s)\n",
+		restartElapsed.Round(time.Microsecond), srv2.Disk().Dir())
 	return nil
 }

@@ -472,6 +472,34 @@ func SwitchAllocCost(t Tech, cfg core.SwitchAllocConfig) Estimate {
 	}
 }
 
+// Combine merges per-block estimates into a router-level allocator
+// estimate. The blocks (VC allocator, switch allocator) are physically
+// separate units operating in parallel pipeline stages, so the combined
+// minimum cycle time is the slowest block's delay, while area, power and
+// netlist size are additive. The combination synthesizes only if every
+// block does; the first failure's reason is reported.
+func Combine(parts ...Estimate) Estimate {
+	var out Estimate
+	out.Synthesized = true
+	for _, p := range parts {
+		if !p.Synthesized {
+			return Estimate{Synthesized: false, FailReason: p.FailReason}
+		}
+		out.DelayNS = math.Max(out.DelayNS, p.DelayNS)
+		out.AreaUM2 += p.AreaUM2
+		out.GateEquivalents += p.GateEquivalents
+		out.Components = append(out.Components, p.Components...)
+	}
+	// Power is activity-weighted energy over the combined cycle time, not
+	// the sum of per-block powers at their own (shorter) cycle times.
+	for _, p := range parts {
+		if out.DelayNS > 0 {
+			out.PowerMW += p.PowerMW * p.DelayNS / out.DelayNS
+		}
+	}
+	return out
+}
+
 // PrecomputedValidationDelay returns the critical-path delay of a
 // pre-computed switch allocator's in-cycle logic (Mullins et al. [15]): the
 // allocator itself runs a cycle ahead, leaving only the per-grant request

@@ -1,0 +1,200 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// DiskStore is the persistent tier under the in-memory Store: one file per
+// unit result, content-addressed by the same canonical hash the memory tier
+// uses, inside a SchemaVersion-scoped subdirectory of the cache root. A
+// server restart therefore keeps its cache warm, and a SchemaVersion bump
+// reads from a fresh directory instead of serving results cached under old
+// semantics.
+//
+// Durability contract (DESIGN.md §11):
+//
+//   - Writes are atomic-by-rename: the value is written to a temp file in
+//     the same directory, then renamed onto its final name. Readers — in
+//     this process or another sharing the directory — observe either the
+//     old bytes or the new bytes, never a torn write. Concurrent writers of
+//     the same key are both writing identical bytes (keys are content
+//     addresses), so last-rename-wins is harmless.
+//   - Loads are corruption-tolerant: a missing, truncated, unparsable or
+//     foreign file is a cache miss with a counted load error, never a
+//     panic and never a served result. Validity means the bytes unmarshal
+//     into a UnitResult whose embedded key and schema version match the
+//     file's name and the store's version — a stray file dropped in the
+//     cache directory cannot be returned for a key it does not answer.
+//   - Bad files are left in place (diagnosable), but a later Put of the
+//     same key atomically replaces them.
+//
+// All methods are safe for concurrent use.
+type DiskStore struct {
+	dir string // version-scoped directory, e.g. <root>/v2
+
+	mu          sync.Mutex
+	files       int64
+	bytes       int64
+	hits        int64
+	misses      int64
+	writes      int64
+	loadErrors  int64
+	writeErrors int64
+}
+
+// diskSuffix is the filename suffix of a stored result; everything else in
+// the directory is ignored by accounting and never read.
+const diskSuffix = ".json"
+
+// OpenDiskStore opens (creating if needed) the disk tier rooted at root,
+// scoped to the current SchemaVersion.
+func OpenDiskStore(root string) (*DiskStore, error) {
+	return openDiskStoreVersion(root, SchemaVersion)
+}
+
+// openDiskStoreVersion is OpenDiskStore with an explicit schema version;
+// split out so tests can prove a version bump rotates the directory.
+func openDiskStoreVersion(root string, version int) (*DiskStore, error) {
+	if root == "" {
+		return nil, fmt.Errorf("sweep: empty cache directory")
+	}
+	dir := filepath.Join(root, fmt.Sprintf("v%d", version))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: cache dir: %w", err)
+	}
+	d := &DiskStore{dir: dir}
+	// Seed the size accounting from what a previous process left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: cache dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), diskSuffix) {
+			continue
+		}
+		d.files++
+		if info, err := e.Info(); err == nil {
+			d.bytes += info.Size()
+		}
+	}
+	return d, nil
+}
+
+// Dir returns the version-scoped directory backing the store.
+func (d *DiskStore) Dir() string { return d.dir }
+
+func (d *DiskStore) path(key string) string {
+	return filepath.Join(d.dir, key+diskSuffix)
+}
+
+// Get returns the persisted bytes for key, or a miss. Unreadable or invalid
+// files count as load errors and miss.
+func (d *DiskStore) Get(key string) ([]byte, bool) {
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		d.mu.Lock()
+		d.misses++
+		if !os.IsNotExist(err) {
+			d.loadErrors++
+		}
+		d.mu.Unlock()
+		return nil, false
+	}
+	if !validDiskResult(key, data) {
+		d.mu.Lock()
+		d.misses++
+		d.loadErrors++
+		d.mu.Unlock()
+		return nil, false
+	}
+	d.mu.Lock()
+	d.hits++
+	d.mu.Unlock()
+	return data, true
+}
+
+// validDiskResult reports whether data is a well-formed UnitResult that
+// actually answers key under the current schema. json.Unmarshal on a
+// truncated or garbage file fails cleanly; a valid-JSON foreign file fails
+// the key/version cross-check.
+func validDiskResult(key string, data []byte) bool {
+	var res UnitResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return false
+	}
+	return res.Key == key && res.SchemaVersion == SchemaVersion
+}
+
+// Put persists val under key via a same-directory temp file and an atomic
+// rename. Failures are counted, not returned: the disk tier is an
+// accelerator, and a request that simulated successfully must not fail
+// because the cache directory is full or read-only.
+func (d *DiskStore) Put(key string, val []byte) {
+	fail := func() {
+		d.mu.Lock()
+		d.writeErrors++
+		d.mu.Unlock()
+	}
+	tmp, err := os.CreateTemp(d.dir, ".tmp-*")
+	if err != nil {
+		fail()
+		return
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		fail()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		fail()
+		return
+	}
+	dst := d.path(key)
+	info, statErr := os.Stat(dst)
+	if err := os.Rename(tmpName, dst); err != nil {
+		os.Remove(tmpName)
+		fail()
+		return
+	}
+	d.mu.Lock()
+	d.writes++
+	if statErr == nil {
+		d.bytes -= info.Size()
+	} else {
+		d.files++
+	}
+	d.bytes += int64(len(val))
+	d.mu.Unlock()
+}
+
+// Stats reports the disk tier's size and lifetime counters.
+func (d *DiskStore) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DiskStats{
+		Dir:   d.dir,
+		Files: d.files, Bytes: d.bytes,
+		Hits: d.hits, Misses: d.misses, Writes: d.writes,
+		LoadErrors: d.loadErrors, WriteErrors: d.writeErrors,
+	}
+}
+
+// DiskStats is a point-in-time snapshot of DiskStore accounting.
+type DiskStats struct {
+	Dir         string `json:"dir"`
+	Files       int64  `json:"files"`
+	Bytes       int64  `json:"bytes"`
+	Hits        int64  `json:"hits"`
+	Misses      int64  `json:"misses"`
+	Writes      int64  `json:"writes"`
+	LoadErrors  int64  `json:"load_errors"`
+	WriteErrors int64  `json:"write_errors"`
+}

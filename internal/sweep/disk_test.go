@@ -1,0 +1,286 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// diskVal marshals a minimal valid stored result for key.
+func diskVal(t *testing.T, key string) []byte {
+	t.Helper()
+	b, err := json.Marshal(UnitResult{SchemaVersion: SchemaVersion, Key: key, Latency: 12.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	d, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "aaaa"
+	if _, ok := d.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	val := diskVal(t, key)
+	d.Put(key, val)
+	got, ok := d.Get(key)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("round trip: ok=%v got=%q want=%q", ok, got, val)
+	}
+	st := d.Stats()
+	if st.Files != 1 || st.Bytes != int64(len(val)) || st.Hits != 1 || st.Misses != 1 || st.Writes != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Overwriting the same key must not double-count the file.
+	d.Put(key, val)
+	if st := d.Stats(); st.Files != 1 || st.Bytes != int64(len(val)) || st.Writes != 2 {
+		t.Fatalf("stats after overwrite: %+v", st)
+	}
+}
+
+// TestDiskStoreRestartWarm pins the point of the disk tier: a second store
+// opened on the same root sees the first one's writes and seeds its size
+// accounting from the directory.
+func TestDiskStoreRestartWarm(t *testing.T) {
+	root := t.TempDir()
+	d1, err := OpenDiskStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := diskVal(t, "warmkey")
+	d1.Put("warmkey", val)
+
+	d2, err := OpenDiskStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d2.Get("warmkey")
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatal("restarted store missed a persisted key")
+	}
+	if st := d2.Stats(); st.Files != 1 || st.Bytes != int64(len(val)) {
+		t.Fatalf("restart accounting: %+v", st)
+	}
+}
+
+// TestDiskStoreCorruptionTolerant pins the load contract: truncated,
+// garbage, foreign and wrong-version files are counted misses — never a
+// panic, never a served result — and a later Put heals the entry.
+func TestDiskStoreCorruptionTolerant(t *testing.T) {
+	d, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := diskVal(t, "goodkey")
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"truncated", valid[:len(valid)/2]},
+		{"garbage", []byte("\x00\xff not json at all")},
+		{"empty", nil},
+		// Valid JSON answering a different key: must fail the cross-check.
+		{"foreign_key", diskVal(t, "someotherkey")},
+		// Valid JSON for this key under a different schema version.
+		{"wrong_version", func() []byte {
+			b, _ := json.Marshal(UnitResult{SchemaVersion: SchemaVersion + 1, Key: "goodkey"})
+			return b
+		}()},
+	}
+	wantErrs := int64(0)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(filepath.Join(d.Dir(), "goodkey"+diskSuffix), tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := d.Get("goodkey"); ok {
+				t.Fatal("corrupt file served as a hit")
+			}
+			wantErrs++
+			if st := d.Stats(); st.LoadErrors != wantErrs {
+				t.Fatalf("load errors = %d, want %d", st.LoadErrors, wantErrs)
+			}
+		})
+	}
+	// Put heals the corrupted entry.
+	d.Put("goodkey", valid)
+	if got, ok := d.Get("goodkey"); !ok || !bytes.Equal(got, valid) {
+		t.Fatal("Put did not replace the corrupt file")
+	}
+}
+
+// TestDiskStoreVersionScoped pins that a SchemaVersion bump reads from a
+// fresh directory: old-version entries are invisible, not migrated.
+func TestDiskStoreVersionScoped(t *testing.T) {
+	root := t.TempDir()
+	dOld, err := openDiskStoreVersion(root, SchemaVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOld.Put("k", diskVal(t, "k"))
+
+	dNew, err := openDiskStoreVersion(root, SchemaVersion+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dNew.Dir() == dOld.Dir() {
+		t.Fatal("version bump kept the same directory")
+	}
+	if !strings.HasPrefix(filepath.Base(dNew.Dir()), "v") {
+		t.Fatalf("unexpected dir layout: %s", dNew.Dir())
+	}
+	if _, ok := dNew.Get("k"); ok {
+		t.Fatal("new schema version served an old version's entry")
+	}
+	if st := dNew.Stats(); st.Files != 0 {
+		t.Fatalf("new version dir accounted old files: %+v", st)
+	}
+}
+
+// TestServerDiskRestartWarm drives the full server stack: a sweep served by
+// one server is served entirely from disk — byte-equal, zero simulations —
+// by a fresh server sharing the cache directory, and /statz reports the
+// disk tier.
+func TestServerDiskRestartWarm(t *testing.T) {
+	root := t.TempDir()
+	opts := Options{
+		Defaults: goldenScale(1),
+		Exec:     Exec{Leap: true},
+		Workers:  2,
+		CacheDir: root,
+	}
+	req := Request{
+		Base:  UnitConfig{Topo: "mesh", Rate: 0.2, Seed: 42},
+		Rates: []float64{0.05, 0.2},
+	}
+
+	s1, ts1 := newTestServer(t, opts)
+	cold := postSweep(t, ts1.Client(), ts1.URL, req)
+	if cold.Summary.Misses != 2 || s1.SimRuns() != 2 {
+		t.Fatalf("cold pass: %+v, sims=%d", cold.Summary, s1.SimRuns())
+	}
+	if st := s1.Disk().Stats(); st.Writes != 2 || st.Files != 2 {
+		t.Fatalf("disk after cold pass: %+v", st)
+	}
+
+	s2, ts2 := newTestServer(t, opts)
+	warm := postSweep(t, ts2.Client(), ts2.URL, req)
+	if warm.Summary.Hits != 2 || s2.SimRuns() != 0 {
+		t.Fatalf("restart pass: %+v, sims=%d, want 2 disk hits and 0 sims", warm.Summary, s2.SimRuns())
+	}
+	for i := 0; i < 2; i++ {
+		if !bytes.Equal(cold.byIndex(i).Result, warm.byIndex(i).Result) {
+			t.Fatalf("unit %d: disk-restored bytes differ from the miss that wrote them", i)
+		}
+	}
+	if st := s2.Disk().Stats(); st.Hits != 2 {
+		t.Fatalf("disk after restart pass: %+v", st)
+	}
+
+	// A repeat on the same server is a memory hit: the disk hit was
+	// promoted, so the disk counters stay put.
+	postSweep(t, ts2.Client(), ts2.URL, req)
+	if st := s2.Disk().Stats(); st.Hits != 2 {
+		t.Fatalf("memory tier did not absorb the repeat: %+v", st)
+	}
+
+	// /statz reports the disk section iff the tier is configured.
+	var statz map[string]json.RawMessage
+	resp, err := ts2.Client().Get(ts2.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(b, &statz); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := statz["disk"]; !ok {
+		t.Fatalf("statz missing disk section: %s", b)
+	}
+	_, tsMem := newTestServer(t, Options{Defaults: goldenScale(1), Workers: 1})
+	resp, err = tsMem.Client().Get(tsMem.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if bytes.Contains(b, []byte(`"disk"`)) {
+		t.Fatalf("memory-only statz reports a disk section: %s", b)
+	}
+}
+
+// TestServerDiskCorruptionFallsBackToSim pins the end-to-end robustness
+// story: corrupting a cached file turns the next request into a re-simulated
+// miss whose result matches the original bytes.
+func TestServerDiskCorruptionFallsBackToSim(t *testing.T) {
+	root := t.TempDir()
+	opts := Options{
+		Defaults: goldenScale(1),
+		Exec:     Exec{Leap: true},
+		Workers:  1,
+		CacheDir: root,
+	}
+	req := Request{Base: UnitConfig{Topo: "mesh", Rate: 0.2, Seed: 42}}
+
+	s1, ts1 := newTestServer(t, opts)
+	cold := postSweep(t, ts1.Client(), ts1.URL, req)
+	key := cold.byIndex(0).Key
+
+	// Truncate the cached file on disk.
+	path := filepath.Join(s1.Disk().Dir(), key+diskSuffix)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, orig[:len(orig)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, opts)
+	again := postSweep(t, ts2.Client(), ts2.URL, req)
+	if again.Summary.Misses != 1 || s2.SimRuns() != 1 {
+		t.Fatalf("corrupt entry not re-simulated: %+v, sims=%d", again.Summary, s2.SimRuns())
+	}
+	if !bytes.Equal(cold.byIndex(0).Result, again.byIndex(0).Result) {
+		t.Fatal("re-simulated result differs from the original")
+	}
+	// The pre-flight lookup and the in-flight recheck each read the bad
+	// file once.
+	if st := s2.Disk().Stats(); st.LoadErrors < 1 {
+		t.Fatalf("load error not counted: %+v", st)
+	}
+	// The Put after the re-simulation healed the file.
+	if healed, err := os.ReadFile(path); err != nil || !bytes.Equal(healed, orig) {
+		t.Fatalf("cache file not healed: err=%v", err)
+	}
+}
+
+// TestDiskStoreIgnoresStrayFiles pins that non-result files in the cache
+// directory (temp leftovers, editor droppings) are excluded from size
+// accounting.
+func TestDiskStoreIgnoresStrayFiles(t *testing.T) {
+	root := t.TempDir()
+	d1, err := OpenDiskStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(d1.Dir(), ".tmp-leftover"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDiskStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := d2.Stats(); st.Files != 0 || st.Bytes != 0 {
+		t.Fatalf("stray file counted: %+v", st)
+	}
+}

@@ -35,7 +35,15 @@ import (
 // changed defaults, changed canonicalization — must bump it, which rotates
 // every content key and prevents a new server from serving results cached
 // under old semantics.
-const SchemaVersion = 1
+//
+// v2: Normalized collapses VAArb to "rr" when VAArch is "wf" — the
+// wavefront VC allocator has no arbiters at all (neither the functional
+// model in internal/core nor the cost model reads ArbKind), so the two
+// spellings always described one simulation and now share one content key.
+// The switch allocator's arbiter kind is NOT collapsed: the SA wavefront
+// datapath uses ArbKind for its VC pre-selection arbiters (Fig. 8c), which
+// can change grant sequences.
+const SchemaVersion = 2
 
 // UnitConfig is one (config, seed) simulation unit: the semantic
 // description of a run, and nothing else. Execution hints — shard count,
@@ -116,7 +124,9 @@ func (c UnitConfig) Normalized() UnitConfig {
 	if c.VAArch == "" {
 		c.VAArch = alloc.SepIF.String()
 	}
-	if c.VAArb == "" {
+	if c.VAArb == "" || c.VAArch == alloc.Wavefront.String() {
+		// Wavefront VC allocation has no arbiters; every arb spelling is the
+		// same unit (see the SchemaVersion v2 note).
 		c.VAArb = arbiter.RoundRobin.String()
 	}
 	if c.SAArch == "" {

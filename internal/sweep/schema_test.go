@@ -75,7 +75,7 @@ func TestKeySensitivity(t *testing.T) {
 func TestKeyGoldenPinned(t *testing.T) {
 	cfg := UnitConfig{Topo: "mesh", Rate: 0.3, Seed: 42}
 	wantCanonical := strings.Join([]string{
-		"noc-sweep/v1",
+		"noc-sweep/v2",
 		"topo=mesh",
 		"vcs_per_class=1",
 		"va_arch=sep_if",
@@ -97,9 +97,26 @@ func TestKeyGoldenPinned(t *testing.T) {
 	if got := cfg.Normalized().canonical(); got != wantCanonical {
 		t.Fatalf("canonical serialization changed (schema change? bump SchemaVersion and re-pin):\ngot:\n%s\nwant:\n%s", got, wantCanonical)
 	}
-	const wantKey = "d119d5559817b55adf7c85b4c9e9f921ae860e0c838a454182b0256752ba1ab2"
+	const wantKey = "8f62cc6379f7511c0c95a6450d93385924bb5f9f61293c8facea7cfc59d9fe48"
 	if got := cfg.Key(); got != wantKey {
 		t.Fatalf("pinned golden key changed:\ngot  %s\nwant %s", got, wantKey)
+	}
+}
+
+// TestKeyWavefrontArbCollapse pins the v2 canonicalization rule: the
+// wavefront VC allocator has no arbiters, so every va_arb spelling of a wf
+// VA config is the same unit — while the switch allocator's arb kind stays
+// semantic (the SA wavefront datapath arbitrates VC pre-selection with it).
+func TestKeyWavefrontArbCollapse(t *testing.T) {
+	wfRR := UnitConfig{Topo: "mesh", VAArch: "wf", VAArb: "rr", Rate: 0.3, Seed: 42}
+	wfM := UnitConfig{Topo: "mesh", VAArch: "wf", VAArb: "m", Rate: 0.3, Seed: 42}
+	if wfRR.Key() != wfM.Key() {
+		t.Fatal("va wf/m and wf/rr hash differently; the wavefront VC allocator has no arbiters")
+	}
+	saRR := UnitConfig{Topo: "mesh", SAArch: "wf", SAArb: "rr", Rate: 0.3, Seed: 42}
+	saM := UnitConfig{Topo: "mesh", SAArch: "wf", SAArb: "m", Rate: 0.3, Seed: 42}
+	if saRR.Key() == saM.Key() {
+		t.Fatal("sa wf/m and wf/rr collapsed; SA pre-selection arbiters make them distinct units")
 	}
 }
 

@@ -132,6 +132,12 @@ type Options struct {
 	// coalesced units are nearly free, so this is higher than Workers;
 	// default 4×Workers).
 	UnitConcurrency int
+	// CacheDir, when non-empty, adds a disk persistence tier under the
+	// memory store: results are written through to content-addressed files
+	// in a SchemaVersion-scoped subdirectory, so a restarted server (or a
+	// second process sharing the directory) starts warm. Empty keeps the
+	// original memory-only behavior.
+	CacheDir string
 }
 
 // Server implements the sweep service: POST /sweep streams per-unit NDJSON
@@ -141,6 +147,7 @@ type Server struct {
 	defaults experiments.SimScale
 	exec     Exec
 	store    *Store
+	disk     *DiskStore // nil when CacheDir is empty
 	flight   *Group
 	pool     *Pool
 	unitConc int
@@ -151,7 +158,9 @@ type Server struct {
 }
 
 // NewServer builds a server; callers own its lifetime and should Close it.
-func NewServer(opts Options) *Server {
+// The only error source is opening the disk tier (CacheDir set but
+// uncreatable).
+func NewServer(opts Options) (*Server, error) {
 	if opts.Workers < 1 {
 		opts.Workers = 1
 	}
@@ -164,14 +173,22 @@ func NewServer(opts Options) *Server {
 	if opts.UnitConcurrency < 1 {
 		opts.UnitConcurrency = 4 * opts.Workers
 	}
+	var disk *DiskStore
+	if opts.CacheDir != "" {
+		var err error
+		if disk, err = OpenDiskStore(opts.CacheDir); err != nil {
+			return nil, err
+		}
+	}
 	return &Server{
 		defaults: opts.Defaults,
 		exec:     opts.Exec,
 		store:    NewStore(opts.MaxEntries, opts.MaxBytes),
+		disk:     disk,
 		flight:   NewGroup(),
 		pool:     NewPool(opts.Workers),
 		unitConc: opts.UnitConcurrency,
-	}
+	}, nil
 }
 
 // Close stops the worker pool (in-flight tasks drain first).
@@ -183,6 +200,9 @@ func (s *Server) SimRuns() int64 { return s.simRuns.Load() }
 
 // Store exposes the result store (tests inspect eviction accounting).
 func (s *Server) Store() *Store { return s.store }
+
+// Disk exposes the disk tier, nil when the server is memory-only.
+func (s *Server) Disk() *DiskStore { return s.disk }
 
 // Handler returns the service mux.
 func (s *Server) Handler() http.Handler {
@@ -208,6 +228,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		PoolDone      int64      `json:"pool_done"`
 		PoolSkipped   int64      `json:"pool_skipped"`
 		Store         StoreStats `json:"store"`
+		Disk          *DiskStats `json:"disk,omitempty"`
 	}{
 		SchemaVersion: SchemaVersion,
 		Requests:      s.requests.Load(),
@@ -218,6 +239,10 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		PoolDone:      poolDone,
 		PoolSkipped:   poolSkipped,
 		Store:         s.store.Stats(),
+	}
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		stats.Disk = &ds
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -337,18 +362,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	emit(summary)
 }
 
-// serveUnit resolves one unit through the three perf layers: store lookup,
-// in-flight coalescing, then a pooled simulation on a true miss. The
-// returned bytes come from the store (or the computation that populated
-// it) verbatim.
+// serveUnit resolves one unit through the perf layers: memory store, disk
+// tier (promoting a disk hit into memory), in-flight coalescing, then a
+// pooled simulation on a true miss. The returned bytes come from the store
+// (or the computation that populated it) verbatim.
 func (s *Server) serveUnit(ctx context.Context, u UnitConfig, key string) (data []byte, status string, err error) {
-	if b, ok := s.store.Get(key); ok {
+	if b, ok := s.cacheGet(key); ok {
 		return b, "hit", nil
 	}
 	val, err, leader := s.flight.Do(ctx, key, func(runCtx context.Context) ([]byte, error) {
 		// Re-check under coalescing: a previous leader may have populated
 		// the store between our Get and the flight admission.
-		if b, ok := s.store.Get(key); ok {
+		if b, ok := s.cacheGet(key); ok {
 			return b, nil
 		}
 		var res UnitResult
@@ -368,6 +393,9 @@ func (s *Server) serveUnit(ctx context.Context, u UnitConfig, key string) (data 
 			return nil, err
 		}
 		s.store.Put(key, b)
+		if s.disk != nil {
+			s.disk.Put(key, b)
+		}
 		return b, nil
 	})
 	switch {
@@ -380,4 +408,41 @@ func (s *Server) serveUnit(ctx context.Context, u UnitConfig, key string) (data 
 	default:
 		return val, "coalesced", nil
 	}
+}
+
+// cacheGet checks the memory tier, then the disk tier; a disk hit is
+// promoted into memory so repeats stay at memory-hit cost.
+func (s *Server) cacheGet(key string) ([]byte, bool) {
+	if b, ok := s.store.Get(key); ok {
+		return b, true
+	}
+	if s.disk == nil {
+		return nil, false
+	}
+	b, ok := s.disk.Get(key)
+	if ok {
+		s.store.Put(key, b)
+	}
+	return b, ok
+}
+
+// EvalUnit resolves one already-normalized unit through the full cache →
+// coalescing → pool stack and unmarshals the result. This is the embedding
+// API the design-space search uses: it shares the server's store, disk
+// tier, singleflight group and worker pool with HTTP traffic, so a search
+// and a live /sweep client never run the same simulation twice.
+func (s *Server) EvalUnit(ctx context.Context, u UnitConfig) (UnitResult, error) {
+	u = s.applyDefaults(u).Normalized()
+	if err := u.Validate(); err != nil {
+		return UnitResult{}, err
+	}
+	data, _, err := s.serveUnit(ctx, u, u.Key())
+	if err != nil {
+		return UnitResult{}, err
+	}
+	var res UnitResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return UnitResult{}, fmt.Errorf("sweep: stored result for %s: %w", u.Key(), err)
+	}
+	return res, nil
 }

@@ -74,7 +74,10 @@ func postSweep(t *testing.T, client *http.Client, url string, req Request) sweep
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := NewServer(opts)
+	s, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
