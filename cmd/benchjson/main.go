@@ -41,6 +41,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/quality"
 	"repro/internal/sim"
+	"repro/internal/traffic"
 )
 
 // env captures the machine context shared by every report.
@@ -56,7 +57,10 @@ func newEnv() env {
 
 // netPoint is one timed network-simulation configuration.
 type netPoint struct {
-	Name           string  `json:"name"`
+	Name string `json:"name"`
+	// Workload names a non-baseline injection workload (empty for the
+	// bernoulli/uniform baseline points).
+	Workload       string  `json:"workload,omitempty"`
 	Rate           float64 `json:"rate"`
 	Dense          bool    `json:"dense"`
 	Leap           bool    `json:"leap"`
@@ -97,9 +101,10 @@ var benchScale = experiments.SimScale{Warmup: 500, Measure: 1500, Drain: 8000, S
 // clock: network construction costs ~1.5 ms regardless of configuration,
 // which on short low-rate points would dilute every stepper-level ratio
 // the snapshot exists to track.
-func runNetPoint(name string, pt experiments.Point, rate float64, shards int, dense, leap bool, iters int) netPoint {
+func runNetPoint(name string, pt experiments.Point, rate float64, shards int, dense, leap bool, iters int, w traffic.Workload) netPoint {
 	scale := benchScale
 	scale.Shards, scale.Dense, scale.Leap = shards, dense, leap
+	scale.Workload = w
 	cfg := experiments.BuildSim(pt, rate, scale)
 	var cycles, flits, leaps, leapt int64
 	var elapsed time.Duration
@@ -118,8 +123,13 @@ func runNetPoint(name string, pt experiments.Point, rate float64, shards int, de
 		leaps += ev
 		leapt += cy
 	}
+	wname := ""
+	if w.Process != "" || w.Pattern != "" {
+		wname = experiments.WorkloadName(w.Normalized())
+	}
 	return netPoint{
 		Name:           name,
+		Workload:       wname,
 		Rate:           rate,
 		Dense:          dense,
 		Leap:           leap,
@@ -152,8 +162,26 @@ func netBench(iters int) netReport {
 				}
 				name := fmt.Sprintf("mesh_2x1x1/rate=%g/%s/shards=%d", rate, sched, shards)
 				rep.Points = append(rep.Points,
-					runNetPoint(name, pt, rate, shards, sched == "dense", sched == "leap", iters))
+					runNetPoint(name, pt, rate, shards, sched == "dense", sched == "leap", iters, traffic.Workload{}))
 			}
+		}
+	}
+	// Workload axis: the bursty (mmp) and hotspot injection workloads under
+	// the active-set scheduler and the leap gate, so the arrival-process
+	// layer's cost stays tracked against the bernoulli/uniform baseline
+	// above. 0.05 is low enough that mmp's OFF periods leave real idle
+	// stretches for the leap gate to skip.
+	for _, wl := range []struct {
+		name string
+		w    traffic.Workload
+	}{
+		{"mmp", traffic.Workload{Process: "mmp"}},
+		{"hotspot", traffic.Workload{Pattern: "hotspot"}},
+	} {
+		for _, sched := range []string{"active", "leap"} {
+			name := fmt.Sprintf("mesh_2x1x1/rate=0.05/%s/%s/shards=1", wl.name, sched)
+			rep.Points = append(rep.Points,
+				runNetPoint(name, pt, 0.05, 1, false, sched == "leap", iters, wl.w))
 		}
 	}
 	rep.Multicore = multicoreBench(pt, iters)
@@ -179,7 +207,7 @@ func multicoreBench(pt experiments.Point, iters int) []multicoreRun {
 		run := multicoreRun{GoMaxProcs: gmp}
 		for _, shards := range []int{1, 2, 4, 8, 16} {
 			name := fmt.Sprintf("mesh_2x1x1/gomaxprocs=%d/rate=0.3/leap/shards=%d", gmp, shards)
-			run.Points = append(run.Points, runNetPoint(name, pt, 0.30, shards, false, true, iters))
+			run.Points = append(run.Points, runNetPoint(name, pt, 0.30, shards, false, true, iters, traffic.Workload{}))
 		}
 		runs = append(runs, run)
 	}

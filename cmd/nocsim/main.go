@@ -8,6 +8,9 @@
 //	nocsim -exp fig13 -topo fbfly -c 4       # switch allocator comparison
 //	nocsim -exp fig14 -topo mesh -c 1        # speculation scheme comparison
 //	nocsim -exp vasweep -topo mesh -c 2      # VC allocator (in)sensitivity
+//	nocsim -exp workload -process mmp        # bursty-injection latency curve
+//	nocsim -record t.txt -rate 0.2           # record a packet trace ...
+//	nocsim -exp workload -trace t.txt        # ... and replay it
 //
 // Latency entries marked with '*' did not drain within the drain budget
 // (the offered load exceeds saturation throughput).
@@ -21,14 +24,19 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/experiments"
 	"repro/internal/prof"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 func main() {
-	exp := flag.String("exp", "fig13", "experiment: fig13, fig14, vasweep, patterns or saturation")
+	exp := flag.String("exp", "fig13", "experiment: fig13, fig14, vasweep, patterns, workload or saturation")
 	topo := flag.String("topo", "mesh", "design point topology: mesh or fbfly")
 	c := flag.Int("c", 1, "VCs per class (1, 2 or 4)")
 	scaleOf := experiments.ScaleFlags(flag.CommandLine,
 		experiments.SimScale{Warmup: 3000, Measure: 6000, Drain: 20000, Seed: 42, Workers: 4, Leap: true})
+	workloadOf := experiments.WorkloadFlags(flag.CommandLine, traffic.Workload{})
+	record := flag.String("record", "", "run once under the selected workload (at -rate, default mid-sweep), write the arrival trace to this file and exit")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -45,7 +53,21 @@ func main() {
 		os.Exit(1)
 	}
 	scale := scaleOf()
+	workload, err := workloadOf()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	scale.Workload = workload
 	rates := experiments.InjectionRates(pt)
+
+	if *record != "" {
+		if err := recordTrace(*record, pt, workload, rates, scale); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	header := func(format string, args ...any) {
 		if !*asJSON {
@@ -67,11 +89,20 @@ func main() {
 		header("traffic pattern sweep (§3.2), %s at rate %.2f\n", pt, rates[len(rates)/2])
 		var err error
 		series, err = experiments.PatternSweep(pt, rates[len(rates)/2], scale,
-			[]string{"uniform", "transpose", "bitcomp", "bitrev", "shuffle", "tornado", "neighbor"})
+			[]string{"uniform", "transpose", "bitcomp", "bitrev", "shuffle", "tornado", "neighbor", "hotspot"})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	case "workload":
+		header("workload latency-throughput sweep, %s, %s\n", pt, experiments.WorkloadName(workload))
+		wrates := rates
+		if workload.Process == "trace" {
+			// Replay's offered load is data carried by the trace, not a
+			// swept parameter: one point regenerates the recorded run.
+			wrates = []float64{0}
+		}
+		series = experiments.WorkloadCurve(pt, wrates, scale)
 	case "saturation":
 		fmt.Printf("saturation throughput summary (paper conclusions), %s\n", pt)
 		for _, arch := range []alloc.Arch{alloc.SepIF, alloc.SepOF, alloc.Wavefront} {
@@ -95,4 +126,31 @@ func main() {
 	for _, s := range series {
 		fmt.Printf("%s: saturation throughput ~%.3f flits/cycle/terminal\n", s.Name, s.SaturationRate())
 	}
+}
+
+// recordTrace runs one simulation under the selected workload with arrival
+// recording on and writes the packet trace to path. Replaying that file
+// (-trace path) regenerates the recorded injection stream exactly; on the
+// mesh (RNG-free routing) the replayed run is byte-identical to this one.
+func recordTrace(path string, pt experiments.Point, w traffic.Workload, rates []float64, scale experiments.SimScale) error {
+	rate := w.Rate
+	if rate <= 0 {
+		rate = rates[len(rates)/2]
+	}
+	cfg := experiments.BuildSim(pt, rate, scale)
+	cfg.RecordArrivals = true
+	net := sim.New(cfg)
+	res := net.Run()
+	ptr := net.ArrivalTrace()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteArrivals(f, ptr); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d arrivals from %d terminals (%s at rate %.3f, avg latency %.1f) to %s\n",
+		len(ptr.Arrivals), ptr.Terminals, pt, rate, res.AvgLatency, path)
+	return nil
 }

@@ -18,7 +18,15 @@
 //	pareto -out pareto.json         # full result as JSON
 //	pareto -cachedir ~/.noc-sweep   # disk-warm across runs
 //	pareto -topos mesh -vcs 1,2 -noprune
+//	pareto -patterns uniform,hotspot -processes bernoulli,mmp
 //	pareto -smoke                   # reduced space + tiny scale (CI)
+//
+// The -patterns/-processes axes default to the paper baseline singletons
+// (uniform × bernoulli); -burstlen/-duty/-hotspots/-hotfrac fix the mmp
+// and hotspot parameters for the whole search. Dominance comparisons are
+// scoped to one evaluation condition (topology × workload × rate), so
+// mixing workloads never lets a benign-traffic point prune a bursty one.
+// Trace replay is batch-only and rejected here.
 package main
 
 import (
@@ -46,6 +54,12 @@ func main() {
 	vcs := flag.String("vcs", "", "comma-separated VCs-per-class values (default 1,2,4)")
 	meshRate := flag.Float64("meshrate", 0, "mesh evaluation load (default 0.44)")
 	fbflyRate := flag.Float64("fbflyrate", 0, "fbfly evaluation load (default 0.60)")
+	patterns := flag.String("patterns", "", "comma-separated traffic patterns to search (default uniform)")
+	processes := flag.String("processes", "", "comma-separated arrival processes to search (default bernoulli; trace is batch-only)")
+	burstLen := flag.Float64("burstlen", 0, "mmp mean burst length when the processes axis includes mmp (default 32)")
+	duty := flag.Float64("duty", 0, "mmp duty cycle when the processes axis includes mmp (default 0.25)")
+	hotspots := flag.String("hotspots", "", "comma-separated hotspot terminals when the patterns axis includes hotspot (default 0)")
+	hotFrac := flag.Float64("hotfrac", 0, "fraction of traffic aimed at the hotspot set (default 0.2)")
 	noPrune := flag.Bool("noprune", false, "disable dominance pruning (simulate every feasible point; frontier is identical)")
 	smoke := flag.Bool("smoke", false, "reduced space at a tiny scale (CI smoke)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -60,10 +74,14 @@ func main() {
 
 	spec := dse.Spec{
 		Topos:     splitCSV(*topos),
-		VCs:       splitInts(*vcs),
+		VCs:       splitInts("-vcs", *vcs),
 		MeshRate:  *meshRate,
 		FbflyRate: *fbflyRate,
-		Warmup:    scale.Warmup, Measure: scale.Measure, Drain: scale.Drain,
+		Patterns:  splitCSV(*patterns),
+		Processes: splitCSV(*processes),
+		BurstLen:  *burstLen, Duty: *duty,
+		Hotspots: splitInts("-hotspots", *hotspots), HotspotFraction: *hotFrac,
+		Warmup: scale.Warmup, Measure: scale.Measure, Drain: scale.Drain,
 		Seed:    scale.Seed,
 		NoPrune: *noPrune,
 	}
@@ -138,12 +156,12 @@ func splitCSV(s string) []string {
 	return parts
 }
 
-func splitInts(s string) []int {
+func splitInts(flagName, s string) []int {
 	var out []int
 	for _, p := range splitCSV(s) {
 		n, err := strconv.Atoi(p)
 		if err != nil {
-			log.Fatalf("pareto: -vcs: %v", err)
+			log.Fatalf("pareto: %s: %v", flagName, err)
 		}
 		out = append(out, n)
 	}

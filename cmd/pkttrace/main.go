@@ -16,12 +16,13 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 func main() {
 	topo := flag.String("topo", "mesh", "design point topology: mesh or fbfly")
 	c := flag.Int("c", 1, "VCs per class (1, 2 or 4)")
-	rate := flag.Float64("rate", 0.2, "injection rate (flits/cycle/terminal)")
+	workloadOf := experiments.WorkloadFlags(flag.CommandLine, traffic.Workload{Rate: 0.2})
 	pkt := flag.Int64("packet", 0, "packet id to trace (0 = first fully traced packet)")
 	cycles := flag.Int("cycles", 2000, "cycles to simulate")
 	seed := flag.Uint64("seed", 1, "simulation seed")
@@ -32,15 +33,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	workload, err := workloadOf()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	collector := trace.NewCollector(1 << 20)
-	cfg := experiments.BuildSim(pt, *rate, experiments.SimScale{
+	cfg := experiments.BuildSim(pt, workload.Rate, experiments.SimScale{
 		Warmup: *cycles / 4, Measure: *cycles / 2, Drain: *cycles, Seed: *seed,
+		Workload: workload,
 	})
 	cfg.Trace = trace.New(collector, nil)
 	res := sim.New(cfg).Run()
 
 	fmt.Printf("%s at rate %.2f: %d packets measured, avg latency %.1f cycles\n\n",
-		pt, *rate, res.MeasuredPackets, res.AvgLatency)
+		pt, workload.Rate, res.MeasuredPackets, res.AvgLatency)
 
 	id := *pkt
 	if id == 0 {

@@ -13,12 +13,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/experiments"
 	"repro/internal/prof"
 	"repro/internal/quality"
+	"repro/internal/traffic"
 )
 
 func main() {
@@ -26,6 +28,7 @@ func main() {
 	def := experiments.DefaultScale()
 	def.Workers = 4
 	scaleOf := experiments.ScaleFlags(flag.CommandLine, def)
+	workloadOf := experiments.WorkloadFlags(flag.CommandLine, traffic.Workload{})
 	only := flag.String("only", "", "restrict to one experiment: fig4, fig5, fig6, fig7, fig10, fig11, fig12, fig13, fig14, vasweep, summary")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -38,6 +41,12 @@ func main() {
 
 	trials := 10000
 	scale := scaleOf()
+	workload, err := workloadOf()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	scale.Workload = workload
 	if *quick {
 		// -quick overrides the phase-length defaults but not an explicit
 		// -warmup/-measure/-drain on the command line.

@@ -21,10 +21,13 @@
 //	GET  /healthz  liveness
 //	GET  /statz    cache / coalescing / pool counters
 //
-// The -warmup/-measure/-drain/-seed flags set server-side defaults for
-// request fields left zero; -shards/-dense/-denserequests/-leap pick the
-// execution path for every simulated unit (bit-identical axes, never part
-// of the cache key).
+// The -warmup/-measure/-drain/-seed flags and the workload flag set
+// (-process/-pattern/-burstlen/-duty/-hotspots/-hotfrac) set server-side
+// defaults for request fields left zero; -shards/-dense/-denserequests/-leap
+// pick the execution path for every simulated unit (bit-identical axes,
+// never part of the cache key). Trace-replay workloads are batch-only: the
+// service content-addresses units by config and cannot materialize trace
+// bytes.
 package main
 
 import (
@@ -43,6 +46,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/experiments"
 	"repro/internal/sweep"
+	"repro/internal/traffic"
 )
 
 func main() {
@@ -53,8 +57,19 @@ func main() {
 	selfcheck := flag.Bool("selfcheck", false, "run an in-process smoke test (cold miss, then byte-equal cache hit; with -cachedir, also a restart warm hit) and exit")
 	scaleOf := experiments.ScaleFlags(flag.CommandLine,
 		experiments.SimScale{Workers: runtime.GOMAXPROCS(0), Leap: true})
+	workloadOf := experiments.WorkloadFlags(flag.CommandLine, traffic.Workload{})
 	flag.Parse()
 	scale := scaleOf()
+	workload, err := workloadOf()
+	if err != nil {
+		log.Fatal("sweepd: ", err)
+	}
+	if workload.Process == "trace" {
+		// The service content-addresses units by config alone; it has no
+		// channel to materialize trace bytes, so replay stays batch-only.
+		log.Fatal("sweepd: trace workloads are batch-only (use cmd/nocsim -trace)")
+	}
+	scale.Workload = workload
 
 	opts := sweep.Options{
 		Defaults:   scale,

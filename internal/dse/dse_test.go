@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/json"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -202,5 +203,78 @@ func TestCostDominates(t *testing.T) {
 	mixed.AreaUM2, mixed.DelayNS = 90, 2
 	if costDominates(mixed, base) {
 		t.Fatal("trade-off vector must not dominate")
+	}
+}
+
+// TestWorkloadAxes pins the workload dimension of the search space: the
+// patterns × processes cross multiplies enumeration, every workload lands
+// in its own evaluation group, dominance never crosses groups (the pruned
+// frontier still matches brute force, and each group contributes frontier
+// points), and non-baseline points carry a workload label suffix.
+func TestWorkloadAxes(t *testing.T) {
+	spec := Spec{
+		Topos: []string{"mesh"}, VCs: []int{1},
+		VAArchs: []string{"sep_if"}, VAArbs: []string{"rr"}, VASparse: []bool{false},
+		SAArbs:    []string{"rr"},
+		Patterns:  []string{"uniform", "hotspot"},
+		Processes: []string{"bernoulli", "mmp"},
+	}
+	sp, err := Enumerate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 SA archs × 3 spec modes = 9 allocator points, × 4 workloads.
+	if sp.Enumerated != 36 {
+		t.Fatalf("enumerated %d, want 36", sp.Enumerated)
+	}
+	groups := map[string]int{}
+	for _, c := range sp.Feasible {
+		groups[evalGroup(c.Unit)]++
+	}
+	if len(groups) != 4 {
+		t.Fatalf("feasible points span %d evaluation groups, want 4: %v", len(groups), groups)
+	}
+
+	brute := spec
+	brute.NoPrune = true
+	bruteRes, err := Search(context.Background(), &fakeEval{}, brute, SearchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prunedRes, err := Search(context.Background(), &fakeEval{}, spec, SearchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := frontierJSON(t, prunedRes), frontierJSON(t, bruteRes); got != want {
+		t.Fatalf("pruned frontier differs from brute force under workload axes:\npruned: %s\nbrute:  %s", got, want)
+	}
+	frontierGroups := map[string]bool{}
+	for _, p := range prunedRes.Frontier {
+		frontierGroups[evalGroup(p.Unit)] = true
+		baseline := p.Unit.Process == "bernoulli" && p.Unit.Pattern == "uniform"
+		if hasWL := len(p.Label) > 0 && strings.Contains(p.Label, " wl="); hasWL == baseline {
+			t.Errorf("label %q: workload suffix present=%v for baseline=%v", p.Label, hasWL, baseline)
+		}
+	}
+	if len(frontierGroups) != 4 {
+		t.Fatalf("frontier spans %d evaluation groups, want all 4 (groups cannot dominate each other)", len(frontierGroups))
+	}
+}
+
+// TestWorkloadSpecValidation pins the spec-level workload checks: trace is
+// batch-only, and mmp/hotspot parameters are validated against the
+// evaluation rates up front.
+func TestWorkloadSpecValidation(t *testing.T) {
+	if err := (Spec{Processes: []string{"trace"}}).Validate(); err == nil {
+		t.Error("trace process accepted as a search axis")
+	}
+	if err := (Spec{Processes: []string{"mmp"}, Duty: 0.05}).Validate(); err == nil {
+		t.Error("mmp with rate beyond duty capacity accepted (mesh rate 0.44 > 6×0.05)")
+	}
+	if err := (Spec{Patterns: []string{"hotspot"}, Hotspots: []int{64}}).Validate(); err == nil {
+		t.Error("hotspot terminal 64 accepted over 64 terminals")
+	}
+	if err := (Spec{Patterns: []string{"hotspot"}, Processes: []string{"mmp"}}).Validate(); err != nil {
+		t.Errorf("default-parameter mmp × hotspot rejected: %v", err)
 	}
 }

@@ -6,7 +6,9 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/experiments"
 	"repro/internal/sweep"
+	"repro/internal/traffic"
 )
 
 // Evaluator resolves one simulation unit; *sweep.Server satisfies it, so a
@@ -62,9 +64,10 @@ type Result struct {
 	Feasible   int `json:"feasible"`
 	Simulated  int `json:"simulated"`
 	Pruned     int `json:"pruned"`
-	// Frontier is the per-topology Pareto-optimal set over (delay, area,
-	// power, −perf), in canonical order: topology, then delay, area,
-	// power, key.
+	// Frontier is the per-evaluation-group Pareto-optimal set over (delay,
+	// area, power, −perf) — points compete only within one (topology,
+	// workload, rate) condition — in canonical order: evaluation group
+	// (topology first), then delay, area, power, key.
 	Frontier []FrontierPoint `json:"frontier"`
 }
 
@@ -89,7 +92,8 @@ func perfOf(res sweep.UnitResult, rate float64) float64 {
 // as few points as it can prove safe.
 //
 // Pruning invariant (DESIGN.md §11): candidate A is skipped only when some
-// already-simulated same-topology B strictly cost-dominates A and achieved
+// already-simulated same-evaluation-group B (same topology, workload and
+// offered load — see evalGroup) strictly cost-dominates A and achieved
 // perf(B) == rate, the axis cap. Then B dominates A on every frontier axis
 // (cost strictly, perf weakly since perf(A) ≤ rate), so A is not on the
 // frontier; and by transitivity anything A would dominate, B dominates
@@ -113,8 +117,8 @@ func Search(ctx context.Context, eval Evaluator, spec Spec, opts SearchOptions) 
 		done      = make([]bool, len(ordered))
 		nPruned   int
 	)
-	// prunableBy records, per topology, the simulated cost vectors that hit
-	// the perf cap — the only ones allowed to prune.
+	// prunableBy records, per evaluation group, the simulated cost vectors
+	// that hit the perf cap — the only ones allowed to prune.
 	prunableBy := map[string][]Candidate{}
 
 	for {
@@ -155,7 +159,8 @@ func Search(ctx context.Context, eval Evaluator, spec Spec, opts SearchOptions) 
 			perf := perfOf(results[ri], cand.Unit.Rate)
 			simulated = append(simulated, evaled{cand: cand, res: results[ri], perf: perf})
 			if !spec.NoPrune && perf == cand.Unit.Rate {
-				prunableBy[cand.Unit.Topo] = append(prunableBy[cand.Unit.Topo], cand)
+				g := evalGroup(cand.Unit)
+				prunableBy[g] = append(prunableBy[g], cand)
 			}
 		}
 		// Apply prunes to everything still pending.
@@ -164,7 +169,7 @@ func Search(ctx context.Context, eval Evaluator, spec Spec, opts SearchOptions) 
 				if done[i] || pruned[i] {
 					continue
 				}
-				for _, p := range prunableBy[ordered[i].Unit.Topo] {
+				for _, p := range prunableBy[evalGroup(ordered[i].Unit)] {
 					if costDominates(p.Cost, ordered[i].Cost) {
 						pruned[i] = true
 						nPruned++
@@ -181,13 +186,17 @@ func Search(ctx context.Context, eval Evaluator, spec Spec, opts SearchOptions) 
 		}
 	}
 
-	// Frontier: per-topology non-dominated set over (delay, area, power,
-	// −perf) among the simulated points, in canonical order.
+	// Frontier: per-evaluation-group non-dominated set over (delay, area,
+	// power, −perf) among the simulated points, in canonical order.
+	simGroups := make([]string, len(simulated))
+	for i := range simulated {
+		simGroups[i] = evalGroup(simulated[i].cand.Unit)
+	}
 	var frontier []FrontierPoint
 	for i, a := range simulated {
 		dominated := false
 		for j, b := range simulated {
-			if i == j || a.cand.Unit.Topo != b.cand.Unit.Topo {
+			if i == j || simGroups[i] != simGroups[j] {
 				continue
 			}
 			if dominates(b, a) {
@@ -213,8 +222,8 @@ func Search(ctx context.Context, eval Evaluator, spec Spec, opts SearchOptions) 
 	}
 	sort.Slice(frontier, func(i, j int) bool {
 		a, b := frontier[i], frontier[j]
-		if a.Unit.Topo != b.Unit.Topo {
-			return a.Unit.Topo < b.Unit.Topo
+		if ga, gb := evalGroup(a.Unit), evalGroup(b.Unit); ga != gb {
+			return ga < gb
 		}
 		if a.DelayNS != b.DelayNS {
 			return a.DelayNS < b.DelayNS
@@ -264,11 +273,27 @@ func dominates(b, a evaled) bool {
 }
 
 // labelOf renders a compact design-point spelling, e.g.
-// "mesh v2 va=sep_if/rr/sparse sa=wf/rr/spec_req".
+// "mesh v2 va=sep_if/rr/sparse sa=wf/rr/spec_req". Non-baseline workloads
+// get a suffix ("… wl=mmp(b32,d0.25)/hotspot(f0.2)") so frontier listings
+// stay unambiguous when a search spans workload axes.
 func labelOf(u sweep.UnitConfig) string {
 	va := u.VAArch + "/" + u.VAArb
 	if u.VASparse {
 		va += "/sparse"
 	}
-	return fmt.Sprintf("%s v%d va=%s sa=%s/%s/%s", u.Topo, u.VCsPerClass, va, u.SAArch, u.SAArb, u.SpecMode)
+	s := fmt.Sprintf("%s v%d va=%s sa=%s/%s/%s", u.Topo, u.VCsPerClass, va, u.SAArch, u.SAArb, u.SpecMode)
+	if u.Process != "bernoulli" || u.Pattern != "uniform" {
+		s += " wl=" + experiments.WorkloadName(workloadOf(u))
+	}
+	return s
+}
+
+// workloadOf rebuilds the traffic.Workload a unit's workload fields spell
+// (mirrors sweep.UnitConfig's own unexported helper).
+func workloadOf(u sweep.UnitConfig) traffic.Workload {
+	return traffic.Workload{
+		Process: u.Process, Rate: u.Rate, Pattern: u.Pattern,
+		BurstLen: u.BurstLen, Duty: u.Duty,
+		Hotspots: u.Hotspots, HotspotFraction: u.HotspotFraction,
+	}
 }

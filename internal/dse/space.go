@@ -31,6 +31,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/alloc"
 	"repro/internal/arbiter"
@@ -38,6 +40,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/experiments"
 	"repro/internal/sweep"
+	"repro/internal/traffic"
 )
 
 // Spec bounds a design-space search. Zero/empty fields take the full-space
@@ -57,6 +60,18 @@ type Spec struct {
 	SAArchs   []string `json:"sa_archs,omitempty"`
 	SAArbs    []string `json:"sa_arbs,omitempty"`
 	SpecModes []string `json:"spec_modes,omitempty"`
+	// Patterns/Processes span the injection-workload axes (defaults are the
+	// paper baseline singletons: uniform × bernoulli, so the workload
+	// dimension is opt-in). Trace replay is batch-only and rejected here.
+	Patterns  []string `json:"patterns,omitempty"`
+	Processes []string `json:"processes,omitempty"`
+	// BurstLen/Duty/Hotspots/HotspotFraction parameterize the mmp process
+	// and hotspot pattern when those axes include them (zero = the
+	// traffic.Workload defaults). They are fixed per search, not axes.
+	BurstLen        float64 `json:"burst_len,omitempty"`
+	Duty            float64 `json:"duty,omitempty"`
+	Hotspots        []int   `json:"hotspots,omitempty"`
+	HotspotFraction float64 `json:"hotspot_fraction,omitempty"`
 	// MeshRate/FbflyRate are the offered loads performance is evaluated at
 	// (defaults 0.44 / 0.60 flits/cycle/terminal — past the weakest
 	// configurations' saturation knees, so the space splits into saturated
@@ -102,6 +117,12 @@ func (s Spec) Normalized() Spec {
 	}
 	if len(s.SpecModes) == 0 {
 		s.SpecModes = []string{core.SpecNone.String(), core.SpecReq.String(), core.SpecGnt.String()}
+	}
+	if len(s.Patterns) == 0 {
+		s.Patterns = []string{"uniform"}
+	}
+	if len(s.Processes) == 0 {
+		s.Processes = []string{"bernoulli"}
 	}
 	if s.MeshRate == 0 {
 		s.MeshRate = 0.44
@@ -161,6 +182,26 @@ func (s Spec) Validate() error {
 			return err
 		}
 	}
+	// Workload axes validate over 64 terminals (both paper networks) at
+	// every evaluation rate; trace replay is batch-only (sweep.Validate
+	// rejects it too, but failing here names the axis).
+	for _, proc := range s.Processes {
+		if proc == "trace" {
+			return fmt.Errorf("dse: process %q is batch-only (the search cannot carry trace bytes)", proc)
+		}
+		for _, pat := range s.Patterns {
+			for _, topo := range s.Topos {
+				w := traffic.Workload{
+					Process: proc, Pattern: pat, Rate: s.RateFor(topo),
+					BurstLen: s.BurstLen, Duty: s.Duty,
+					Hotspots: s.Hotspots, HotspotFraction: s.HotspotFraction,
+				}
+				if err := w.Validate(64); err != nil {
+					return err
+				}
+			}
+		}
+	}
 	if s.Warmup < 0 || s.Measure < 1 || s.Drain < 0 {
 		return fmt.Errorf("dse: bad phase lengths warmup=%d measure=%d drain=%d", s.Warmup, s.Measure, s.Drain)
 	}
@@ -203,7 +244,7 @@ func costDominates(a, b costmodel.Estimate) bool {
 type Space struct {
 	// Feasible holds the distinct, synthesizable candidates in enumeration
 	// order (deterministic: topology slowest, then VCs, VA axes, SA axes,
-	// spec mode fastest).
+	// spec mode, traffic pattern, arrival process fastest).
 	Feasible []Candidate
 	// Enumerated counts raw cross-product points; Distinct counts unique
 	// content keys after canonical-hash dedup; Infeasible counts distinct
@@ -235,30 +276,37 @@ func Enumerate(spec Spec) (Space, error) {
 						for _, saArch := range spec.SAArchs {
 							for _, saArb := range spec.SAArbs {
 								for _, mode := range spec.SpecModes {
-									sp.Enumerated++
-									u := sweep.UnitConfig{
-										Topo: topo, VCsPerClass: vcs,
-										VAArch: vaArch, VAArb: vaArb, VASparse: sparse,
-										SAArch: saArch, SAArb: saArb, SpecMode: mode,
-										Rate:   spec.RateFor(topo),
-										Warmup: spec.Warmup, Measure: spec.Measure, Drain: spec.Drain,
-										Seed: spec.Seed,
-									}.Normalized()
-									key := u.Key()
-									if seen[key] {
-										continue
+									for _, pat := range spec.Patterns {
+										for _, proc := range spec.Processes {
+											sp.Enumerated++
+											u := sweep.UnitConfig{
+												Topo: topo, VCsPerClass: vcs,
+												VAArch: vaArch, VAArb: vaArb, VASparse: sparse,
+												SAArch: saArch, SAArb: saArb, SpecMode: mode,
+												Pattern: pat, Process: proc,
+												BurstLen: spec.BurstLen, Duty: spec.Duty,
+												Hotspots: spec.Hotspots, HotspotFraction: spec.HotspotFraction,
+												Rate:   spec.RateFor(topo),
+												Warmup: spec.Warmup, Measure: spec.Measure, Drain: spec.Drain,
+												Seed: spec.Seed,
+											}.Normalized()
+											key := u.Key()
+											if seen[key] {
+												continue
+											}
+											seen[key] = true
+											sp.Distinct++
+											cost, err := candidateCost(tech, pt, u)
+											if err != nil {
+												return Space{}, err
+											}
+											if !cost.Synthesized {
+												sp.Infeasible++
+												continue
+											}
+											sp.Feasible = append(sp.Feasible, Candidate{Unit: u, Key: key, Cost: cost})
+										}
 									}
-									seen[key] = true
-									sp.Distinct++
-									cost, err := candidateCost(tech, pt, u)
-									if err != nil {
-										return Space{}, err
-									}
-									if !cost.Synthesized {
-										sp.Infeasible++
-										continue
-									}
-									sp.Feasible = append(sp.Feasible, Candidate{Unit: u, Key: key, Cost: cost})
 								}
 							}
 						}
@@ -302,16 +350,42 @@ func candidateCost(tech costmodel.Tech, pt experiments.Point, u sweep.UnitConfig
 	return costmodel.Combine(va, sa), nil
 }
 
+// evalGroup is the comparability class of a design point: dominance
+// relations (pruning and the frontier) are only meaningful between points
+// measured under the same evaluation condition — topology, injection
+// workload, and offered load. Grouping by topology alone was sound when
+// the workload was a fixed uniform/bernoulli singleton; with workload axes
+// a point under benign traffic must never prune or dominate one under
+// bursty or hotspot traffic. The string leads with the topology so sorting
+// by group keeps per-topology blocks contiguous.
+func evalGroup(u sweep.UnitConfig) string {
+	hexf := func(f float64) string { return strconv.FormatFloat(f, 'x', -1, 64) }
+	hs := make([]string, len(u.Hotspots))
+	for i, h := range u.Hotspots {
+		hs[i] = strconv.Itoa(h)
+	}
+	return strings.Join([]string{
+		u.Topo, u.Pattern, u.Process,
+		hexf(u.BurstLen), hexf(u.Duty),
+		strings.Join(hs, ","), hexf(u.HotspotFraction),
+		hexf(u.Rate),
+	}, "|")
+}
+
 // searchOrder returns the feasible candidates sorted so that points likely
-// to establish prunes come first: descending count of same-topology
+// to establish prunes come first: descending count of same-evaluation-group
 // candidates they strictly cost-dominate, ties broken by content key. The
 // order affects only how much gets pruned, never the frontier.
 func searchOrder(feasible []Candidate) []Candidate {
+	groups := make([]string, len(feasible))
+	for i := range feasible {
+		groups[i] = evalGroup(feasible[i].Unit)
+	}
 	domCount := make([]int, len(feasible))
 	for i := range feasible {
 		for j := range feasible {
 			if i != j &&
-				feasible[i].Unit.Topo == feasible[j].Unit.Topo &&
+				groups[i] == groups[j] &&
 				costDominates(feasible[i].Cost, feasible[j].Cost) {
 				domCount[i]++
 			}

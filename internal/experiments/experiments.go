@@ -286,6 +286,13 @@ type SimScale struct {
 	// (sim.Config.Leap): provably idle stretches are jumped instead of
 	// ticked. Bit-identical either way; DefaultScale turns it on.
 	Leap bool
+	// Workload selects the injection workload (arrival process, traffic
+	// pattern, parameters) applied to every simulation built through
+	// BuildSim. Unlike the execution fields above it is semantic — it
+	// changes results — and its zero value is the paper default (Bernoulli
+	// over uniform). The offered rate stays per-point: BuildSim overwrites
+	// Workload.Rate with its rate argument.
+	Workload traffic.Workload
 }
 
 // DefaultScale is sized for the cmd-line tools.
@@ -352,10 +359,15 @@ func InjectionRates(pt Point) []float64 {
 // allocator defaults to separable input-first and speculation to the
 // pessimistic scheme, the baseline the paper's §5.3.3 simulations use.
 func BuildSim(pt Point, rate float64, scale SimScale) sim.Config {
+	w := scale.Workload
+	if w.Process != "trace" {
+		w.Rate = rate
+	}
 	cfg := sim.Config{
 		Spec:          pt.Spec,
 		VA:            core.VCAllocConfig{Arch: alloc.SepIF, ArbKind: arbiter.RoundRobin},
 		SA:            core.SwitchAllocConfig{Arch: alloc.SepIF, ArbKind: arbiter.RoundRobin, SpecMode: core.SpecReq},
+		Workload:      w,
 		InjectionRate: rate,
 		Seed:          scale.Seed,
 		Warmup:        scale.Warmup,
@@ -542,6 +554,41 @@ func SaturationThroughput(pt Point, swArch alloc.Arch, scale SimScale) float64 {
 	}
 	best, _ := stats.SaturationEstimate(offered, accepted, 0.05)
 	return best
+}
+
+// WorkloadName renders the series label for a workload: the arrival process
+// plus the traffic pattern, with parameters where they disambiguate
+// ("mmp(b32,d0.25)/uniform", "bernoulli/hotspot", "trace").
+func WorkloadName(w traffic.Workload) string {
+	w = w.Normalized()
+	proc := w.Process
+	if proc == "mmp" {
+		proc = fmt.Sprintf("mmp(b%g,d%g)", w.BurstLen, w.Duty)
+	}
+	if proc == "trace" {
+		return proc
+	}
+	pat := w.Pattern
+	if pat == "hotspot" {
+		pat = fmt.Sprintf("hotspot(f%g)", w.HotspotFraction)
+	}
+	return proc + "/" + pat
+}
+
+// WorkloadCurve runs one design point under scale.Workload across the given
+// rates: the latency-throughput curve for bursty/hotspot workloads. For
+// trace replay the offered load is data, not a parameter, so callers pass a
+// single placeholder rate.
+func WorkloadCurve(pt Point, rates []float64, scale SimScale) []NetSeries {
+	return WorkloadCurveCtx(context.Background(), pt, rates, scale)
+}
+
+// WorkloadCurveCtx is WorkloadCurve with cooperative cancellation.
+func WorkloadCurveCtx(ctx context.Context, pt Point, rates []float64, scale SimScale) []NetSeries {
+	name := WorkloadName(scale.Workload)
+	return []NetSeries{runCurveN(ctx, name, rates, scale.Workers, func(rate float64) sim.Config {
+		return BuildSim(pt, rate, scale)
+	})}
 }
 
 // PatternSweep runs one design point under several synthetic traffic

@@ -64,8 +64,11 @@ func (n *Network) tryLeap(horizon int64) bool {
 		if !t.dormant(n) {
 			return false
 		}
-		if t.gen.InjectionRate > 0 && t.nextArrival < target {
-			target = t.nextArrival
+		// A pending presampled arrival bounds the leap even when the process
+		// has gone quiet since it was drawn (trace replay's rate drops to 0
+		// once its last arrival is presampled).
+		if next := t.gen.PresampledArrival(); next < target && (t.gen.Rate() > 0 || t.gen.PendingArrival()) {
+			target = next
 		}
 	}
 	for _, s := range n.shards {
@@ -118,8 +121,8 @@ func (n *Network) validateLeap(target int64) {
 		}
 	}
 	for _, t := range n.terminals {
-		if t.gen.InjectionRate > 0 && t.nextArrival < target {
-			panic(fmt.Sprintf("sim: leap to cycle %d would skip terminal %d arrival at %d", target, t.id, t.nextArrival))
+		if next := t.gen.PresampledArrival(); next < target && (t.gen.Rate() > 0 || t.gen.PendingArrival()) {
+			panic(fmt.Sprintf("sim: leap to cycle %d would skip terminal %d arrival at %d", target, t.id, next))
 		}
 	}
 }

@@ -47,10 +47,24 @@ type Config struct {
 	// SA selects the switch allocator microarchitecture and speculation
 	// scheme; Ports/VCs are filled in per router.
 	SA core.SwitchAllocConfig
-	// Pattern chooses packet destinations (default: uniform).
+	// Workload selects the injection workload: arrival process, traffic
+	// pattern and their parameters (traffic.Workload). The zero value is
+	// the paper default (Bernoulli over uniform), with the legacy Pattern /
+	// InjectionRate fields below feeding its zero fields for backward
+	// compatibility; applyDefaults normalizes the three into one coherent
+	// spec.
+	Workload traffic.Workload
+	// Pattern chooses packet destinations (default: built from
+	// Workload.Pattern; an explicitly set Pattern object wins over the
+	// workload's pattern name).
 	Pattern traffic.Pattern
-	// InjectionRate is the offered load in flits/cycle/terminal.
+	// InjectionRate is the offered load in flits/cycle/terminal (legacy
+	// field: used when Workload.Rate is zero, and kept in sync with it).
 	InjectionRate float64
+	// RecordArrivals makes every terminal record its injected request
+	// transactions; Network.ArrivalTrace returns the merged trace after a
+	// run, ready for trace-replay workloads.
+	RecordArrivals bool
 	// ReadFraction is the probability a transaction is a read. Nil selects
 	// the paper's default of 0.5; point at 0 for an all-write workload.
 	ReadFraction *float64
@@ -100,8 +114,19 @@ func (c *Config) applyDefaults() {
 		rf := 0.5
 		c.ReadFraction = &rf
 	}
+	// Unify the workload spec with the legacy fields: the legacy rate feeds
+	// a zero Workload.Rate, normalization fills process/pattern defaults,
+	// and the legacy field is re-synced so old readers stay coherent.
+	if c.Workload.Rate == 0 {
+		c.Workload.Rate = c.InjectionRate
+	}
+	c.Workload = c.Workload.Normalized()
+	c.InjectionRate = c.Workload.Rate
+	if err := c.Workload.Validate(c.Topology.Terminals()); err != nil {
+		panic(err)
+	}
 	if c.Pattern == nil {
-		p, err := traffic.NewPattern("uniform", c.Topology.Terminals())
+		p, err := c.Workload.NewPattern(c.Topology.Terminals())
 		if err != nil {
 			panic(err)
 		}
@@ -271,9 +296,13 @@ func New(cfg Config) *Network {
 		rcfg.DenseRequests = cfg.DenseRequests
 		n.routers = append(n.routers, router.New(rcfg))
 	}
+	procs, err := cfg.Workload.Processes(cfg.Topology.Terminals())
+	if err != nil {
+		panic(err)
+	}
 	for t := 0; t < cfg.Topology.Terminals(); t++ {
 		rid, port := cfg.Topology.TerminalRouter(t)
-		n.terminals = append(n.terminals, newTerminal(t, rid, port, cfg, root.Split(uint64(t)+1)))
+		n.terminals = append(n.terminals, newTerminal(t, rid, port, cfg, root.Split(uint64(t)+1), procs[t]))
 	}
 	n.buildShards()
 	return n

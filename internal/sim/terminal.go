@@ -60,35 +60,29 @@ type terminal struct {
 
 	classMasks []*bitvec.Vec
 
-	// Event-leaping injection state (Config.Leap): nextArrival is the
-	// presampled wake-up cycle (-1 = not sampled) — the next transaction
-	// arrival when arrivalReal, otherwise a chunk checkpoint at which
-	// sampling resumes (see presampleChunk); snap/snapCycle record the RNG
-	// state and cycle at presample time so a wake-up before the arrival can
-	// rewind and replay the per-cycle gate draws the dense reference would
-	// have made (rewindPresample).
-	nextArrival int64
-	arrivalReal bool
-	snap        xrand.Source
-	snapCycle   int64
+	// recorded accumulates this terminal's injected request transactions
+	// when Config.RecordArrivals is set (nil otherwise); the per-terminal
+	// buffers are merged into one canonical trace by Network.ArrivalTrace,
+	// which keeps recording deterministic for any shard count.
+	recorded []traffic.Arrival
+	record   bool
 
 	sentFlits int64
 }
 
-func newTerminal(id, routerID, port int, cfg Config, rng *xrand.Source) *terminal {
+func newTerminal(id, routerID, port int, cfg Config, rng *xrand.Source, proc traffic.ArrivalProcess) *terminal {
 	v := cfg.Spec.V()
 	t := &terminal{
 		id:       id,
 		routerID: routerID,
 		port:     port,
-		gen:      traffic.NewGenerator(cfg.Pattern, cfg.InjectionRate),
+		gen:      traffic.NewGeneratorProcess(cfg.Pattern, proc),
 		rng:      rng,
 		spec:     cfg.Spec,
 		vcBusy:   make([]bool, v),
 		credits:  make([]int, v),
 		curVC:    -1,
-
-		nextArrival: -1,
+		record:   cfg.RecordArrivals,
 	}
 	t.gen.ReadFraction = *cfg.ReadFraction
 	for i := range t.credits {
@@ -102,13 +96,14 @@ func newTerminal(id, routerID, port int, cfg Config, rng *xrand.Source) *termina
 	return t
 }
 
-// dormant reports whether the terminal can be skipped this cycle: with no
-// offered load the injection process draws no randomness, and with no open
-// packet and empty source queues both generate and send are no-ops. A reply
-// elicited by a delivery this cycle is enqueued by the end-of-cycle commit,
-// so the predicate sees it — and wakes the terminal — from the next cycle
-// on; that is exactly when the reply first becomes sendable (its CreatedAt
-// is the following cycle, which the open gate already enforced when receive
+// dormant reports whether the terminal can be skipped this cycle: at zero
+// rate the injection process draws no randomness when ticked (the
+// ArrivalProcess quiet-at-zero-rate contract), and with no open packet and
+// empty source queues both generate and send are no-ops. A reply elicited
+// by a delivery this cycle is enqueued by the end-of-cycle commit, so the
+// predicate sees it — and wakes the terminal — from the next cycle on;
+// that is exactly when the reply first becomes sendable (its CreatedAt is
+// the following cycle, which the open gate already enforced when receive
 // pushed replies mid-cycle).
 //
 // With event leaping an idle terminal that has presampled its next arrival
@@ -120,10 +115,26 @@ func (t *terminal) dormant(n *Network) bool {
 	if t.cur != nil || !t.replyQ.empty() || !t.reqQ.empty() {
 		return false
 	}
-	if t.gen.InjectionRate <= 0 {
+	if n.leapOn && t.gen.PendingArrival() {
+		// A presampled arrival is still owed even if the process has gone
+		// quiet since it was drawn — a trace replay's rate drops to 0 the
+		// moment its last arrival is presampled — so the terminal sleeps
+		// only until that cycle, never past it.
+		return t.gen.PresampledArrival() > n.now
+	}
+	if t.gen.Rate() <= 0 {
 		return true
 	}
-	return n.leapOn && t.nextArrival > n.now
+	return n.leapOn && t.gen.PresampledArrival() > n.now
+}
+
+// inject pushes a new request transaction into the source queue, recording
+// it when arrival recording is on.
+func (t *terminal) inject(s *shard, typ traffic.PacketType, dst int) {
+	if t.record {
+		t.recorded = append(t.recorded, traffic.Arrival{Cycle: s.net.now, Src: t.id, Dst: dst, Type: typ})
+	}
+	t.reqQ.push(s.newRequest(typ, t.id, dst, s.net.now))
 }
 
 // generate rolls the injection process for this cycle. With event leaping
@@ -133,7 +144,7 @@ func (t *terminal) dormant(n *Network) bool {
 // consumes one cycle at a time.
 func (t *terminal) generate(s *shard) {
 	n := s.net
-	if n.leapOn && t.gen.InjectionRate > 0 {
+	if n.leapOn && (t.gen.Rate() > 0 || t.gen.PendingArrival()) {
 		t.generateLeap(s)
 		return
 	}
@@ -141,46 +152,47 @@ func (t *terminal) generate(s *shard) {
 	if !ok {
 		return
 	}
-	p := s.newRequest(typ, t.id, dst, n.now)
-	t.reqQ.push(p)
+	t.inject(s, typ, dst)
 }
 
 // presampleChunk bounds one presampling batch: an idle terminal consumes
 // at most this many per-cycle gate draws ahead of the clock, so ultra-low
 // rates don't eagerly burn an entire geometric run (mean 1/p cycles, vastly
 // past the end of the run at low p). A batch that ends without an arrival
-// parks nextArrival at the chunk boundary as a checkpoint (arrivalReal
-// false); the leap gate may jump there, and sampling resumes. The rewind
-// replay cost on an early wake-up is bounded by the same constant.
+// parks the generator's presampled wake-up at the chunk boundary as a
+// checkpoint (PresampledReal false); the leap gate may jump there, and
+// sampling resumes. The rewind replay cost on an early wake-up is bounded
+// by the same constant.
 const presampleChunk = 1024
 
 // generateLeap is the presampling injection path (see generate).
 func (t *terminal) generateLeap(s *shard) {
 	n := s.net
-	if t.nextArrival >= 0 {
+	g := t.gen
+	if next := g.PresampledArrival(); next >= 0 {
 		switch {
-		case n.now < t.nextArrival:
+		case n.now < next:
 			// Woken before the presampled arrival (a reply arrived this
 			// cycle): rewind and replay the gate draws through this cycle
 			// so the stream position matches dense ticking before open()
 			// consumes any routing randomness.
-			t.rewindPresample(n.now)
+			g.Rewind(t.rng, n.now)
 			return
-		case t.arrivalReal:
-			// now == nextArrival: the gate draw was consumed at presample
-			// time; draw the rest of the transaction and emit. A leaped
-			// schedule cannot overshoot: the leap gate never jumps past a
-			// presampled wake-up.
-			t.nextArrival = -1
-			typ, dst := t.gen.RequestAt(t.id, t.rng)
-			t.reqQ.push(s.newRequest(typ, t.id, dst, n.now))
+		case g.PresampledReal():
+			// now == the presampled arrival: the gate draw was consumed at
+			// presample time; draw the rest of the transaction and emit. A
+			// leaped schedule cannot overshoot: the leap gate never jumps
+			// past a presampled wake-up.
+			g.ClearPresample()
+			typ, dst := g.RequestAt(t.id, t.rng)
+			t.inject(s, typ, dst)
 			return
 		default:
 			// Chunk checkpoint: the previous batch held no arrival, and its
 			// draws covered exactly the cycles before this one. Resume
 			// sampling below as if freshly idle (or tick per-cycle if a
 			// reply arrived at this very cycle).
-			t.nextArrival = -1
+			g.ClearPresample()
 		}
 	}
 	if t.cur != nil || !t.replyQ.empty() || !t.reqQ.empty() {
@@ -188,39 +200,19 @@ func (t *terminal) generateLeap(s *shard) {
 		// every cycle anyway, so presampling would buy nothing and the
 		// adaptive-routing draws interleaved by open() make the stream
 		// cheapest to keep aligned one cycle at a time.
-		typ, dst, ok := t.gen.NextRequest(t.id, t.rng)
+		typ, dst, ok := g.NextRequest(t.id, t.rng)
 		if ok {
-			t.reqQ.push(s.newRequest(typ, t.id, dst, n.now))
+			t.inject(s, typ, dst)
 		}
 		return
 	}
-	t.snap, t.snapCycle = t.rng.State(), n.now
-	if d := t.gen.NextArrivalDelta(t.rng, presampleChunk); d < 0 {
-		t.nextArrival, t.arrivalReal = n.now+presampleChunk, false
-		return
-	} else if d > 0 {
-		t.nextArrival, t.arrivalReal = n.now+int64(d), true
-		return
+	g.Presample(t.rng, n.now, presampleChunk)
+	if g.PresampledArrival() == n.now {
+		// The batch's first tick fired: the arrival is this cycle; emit.
+		g.ClearPresample()
+		typ, dst := g.RequestAt(t.id, t.rng)
+		t.inject(s, typ, dst)
 	}
-	// The batch's first draw succeeded: the arrival is this cycle; emit.
-	typ, dst := t.gen.RequestAt(t.id, t.rng)
-	t.reqQ.push(s.newRequest(typ, t.id, dst, n.now))
-}
-
-// rewindPresample rewinds the RNG to the presample point and replays the
-// per-cycle gate draws for cycles snapCycle..through — all failures by
-// construction, since through precedes the presampled arrival — leaving
-// the stream exactly where dense per-cycle ticking would have it after
-// cycle through's draw, and the terminal unsampled.
-func (t *terminal) rewindPresample(through int64) {
-	t.rng.Restore(t.snap)
-	p := t.gen.TransactionRate()
-	for c := t.snapCycle; c <= through; c++ {
-		if t.rng.Bool(p) {
-			panic("sim: presample replay produced an arrival before the sampled one")
-		}
-	}
-	t.nextArrival = -1
 }
 
 // receive consumes an ejected flit; flits return to the shard's free list
@@ -315,17 +307,32 @@ func (t *terminal) open(s *shard) {
 }
 
 // SetInjectionRate changes the offered load of every terminal; used by
-// drain-style tests. A presampled arrival was drawn at the old rate, so it
-// is rewound — replaying the already-elapsed cycles at that old rate —
-// before the new rate takes effect at the current cycle, exactly as
+// drain-style tests. The presample-rewind invariant lives in
+// traffic.Generator.SetRate: a presampled arrival was drawn at the old
+// rate, so it is rewound — replaying the already-elapsed cycles at that old
+// rate — before the new rate takes effect at the current cycle, exactly as
 // per-cycle ticking would have it.
 func (n *Network) SetInjectionRate(rate float64) {
 	for _, t := range n.terminals {
-		if t.nextArrival >= 0 {
-			t.rewindPresample(n.now - 1)
-		}
-		t.gen.InjectionRate = rate
+		t.gen.SetRate(t.rng, rate, n.now)
 	}
+}
+
+// ArrivalTrace returns the run's recorded injection workload (requires
+// Config.RecordArrivals): the per-terminal buffers merged into canonical
+// (cycle, src) order. Each terminal appends its own arrivals during its
+// shard's phase, so recording is race-free and the merged trace is
+// bit-identical for any shard count and scheduler.
+func (n *Network) ArrivalTrace() *traffic.PacketTrace {
+	if !n.cfg.RecordArrivals {
+		panic("sim: ArrivalTrace requires Config.RecordArrivals")
+	}
+	pt := &traffic.PacketTrace{Terminals: len(n.terminals)}
+	for _, t := range n.terminals {
+		pt.Arrivals = append(pt.Arrivals, t.recorded...)
+	}
+	pt.Sort()
+	return pt
 }
 
 // SentFlits returns the total flits handed to routers by all terminals.

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// workloadConfig builds a paper-style config at seed 42 with fast phases
+// and the given workload spec.
+func workloadConfig(mk func(int, float64) Config, rate float64, w traffic.Workload) Config {
+	cfg := mk(2, rate)
+	cfg.Seed = 42
+	cfg.Warmup, cfg.Measure, cfg.Drain = 200, 500, 5000
+	cfg.Workload = w
+	return cfg
+}
+
+// assertExecutionGolden runs the dense per-cycle reference and requires the
+// ticked active-set and event-leaped schedules (shards 1 and 4) to
+// reproduce it bit for bit — the same equivalence matrix TestLeapGolden
+// pins for the bernoulli/uniform baseline, extended to the new workloads.
+func assertExecutionGolden(t *testing.T, name string, base Config) {
+	t.Helper()
+	ref := base
+	ref.Dense = true
+	want := New(ref).Run()
+	if want.MeasuredPackets == 0 {
+		t.Fatalf("%s: no measured packets; the golden is vacuous", name)
+	}
+	for _, shards := range []int{1, 4} {
+		ticked := base
+		ticked.Shards = shards
+		if got := New(ticked).Run(); got != want {
+			t.Errorf("%s shards=%d: ticked active-set diverged from dense:\ndense:  %+v\nticked: %+v",
+				name, shards, want, got)
+		}
+		leap := base
+		leap.Shards = shards
+		leap.Leap = true
+		leap.Validate = true
+		if got := New(leap).Run(); got != want {
+			t.Errorf("%s shards=%d: leaped run diverged from dense:\ndense: %+v\nleap:  %+v",
+				name, shards, want, got)
+		}
+	}
+}
+
+// TestWorkloadGoldenMMP pins the execution-equivalence matrix for the
+// bursty MMP arrival process on both paper topologies. The fbfly leg also
+// exercises the presample rewind under UGAL's terminal-stream routing
+// draws, now with phase state in the process snapshot.
+func TestWorkloadGoldenMMP(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(int, float64) Config
+	}{
+		{"mesh", meshConfig},
+		{"fbfly", fbflyConfig},
+	} {
+		w := traffic.Workload{Process: "mmp", BurstLen: 16, Duty: 0.25}
+		assertExecutionGolden(t, tc.name+"/mmp", workloadConfig(tc.mk, 0.1, w))
+	}
+}
+
+// TestWorkloadGoldenHotspot pins the matrix for the hotspot spatial
+// pattern, which adds destination-draw randomness to the terminal streams.
+func TestWorkloadGoldenHotspot(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(int, float64) Config
+	}{
+		{"mesh", meshConfig},
+		{"fbfly", fbflyConfig},
+	} {
+		w := traffic.Workload{Pattern: "hotspot", Hotspots: []int{0, 9}, HotspotFraction: 0.2}
+		assertExecutionGolden(t, tc.name+"/hotspot", workloadConfig(tc.mk, 0.1, w))
+	}
+}
+
+// recordedTrace runs one dense recording pass and returns its trace.
+func recordedTrace(t *testing.T, mk func(int, float64) Config, rate float64) *traffic.PacketTrace {
+	t.Helper()
+	cfg := workloadConfig(mk, rate, traffic.Workload{})
+	cfg.Dense = true
+	cfg.RecordArrivals = true
+	n := New(cfg)
+	n.Run()
+	pt := n.ArrivalTrace()
+	if len(pt.Arrivals) == 0 {
+		t.Fatal("recording pass produced an empty trace")
+	}
+	return pt
+}
+
+// TestWorkloadGoldenReplay pins the matrix for trace replay on both
+// topologies: a trace recorded on each network replays through the dense,
+// active-set and leaped schedules bit-identically. Replay consumes no
+// terminal randomness at all, so this exercises the quiet-terminal and
+// exhausted-replay paths of the scheduler.
+func TestWorkloadGoldenReplay(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(int, float64) Config
+	}{
+		{"mesh", meshConfig},
+		{"fbfly", fbflyConfig},
+	} {
+		pt := recordedTrace(t, tc.mk, 0.1)
+		assertExecutionGolden(t, tc.name+"/replay", workloadConfig(tc.mk, 0, traffic.Workload{Trace: pt}))
+	}
+}
+
+// TestRecordReplayRoundTrip is the end-to-end workload round trip on the
+// mesh (DOR consumes no routing randomness, so the replay run is the
+// recorded run): record → replay must reproduce the recording run's Result
+// exactly, and re-recording during the replay must serialize byte-identical
+// to the original trace.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	rec := workloadConfig(meshConfig, 0.1, traffic.Workload{})
+	rec.RecordArrivals = true
+	n := New(rec)
+	want := n.Run()
+	pt := n.ArrivalTrace()
+
+	var orig bytes.Buffer
+	if err := trace.WriteArrivals(&orig, pt); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := workloadConfig(meshConfig, 0, traffic.Workload{Trace: pt})
+	rep.RecordArrivals = true
+	rn := New(rep)
+	got := rn.Run()
+	if got != want {
+		t.Errorf("replay diverged from the recording run:\nrecord: %+v\nreplay: %+v", want, got)
+	}
+	var again bytes.Buffer
+	if err := trace.WriteArrivals(&again, rn.ArrivalTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), again.Bytes()) {
+		t.Error("re-recorded trace is not byte-identical to the original")
+	}
+}
+
+// TestLeapEngagesDuringBurstOFF guards the bursty golden against passing
+// vacuously: at a drain-dominated rate with long OFF silences (duty 0.05,
+// mean OFF stretch ~1200 cycles) the leap gate must fire and actually skip
+// cycles while every terminal sits in its OFF phase.
+func TestLeapEngagesDuringBurstOFF(t *testing.T) {
+	cfg := workloadConfig(meshConfig, 0.002, traffic.Workload{Process: "mmp", BurstLen: 64, Duty: 0.05})
+	cfg.Leap = true
+	cfg.Validate = true
+	n := New(cfg)
+	res := n.Run()
+	events, cycles := n.LeapStats()
+	if events == 0 {
+		t.Fatal("leap gate never fired under bursty OFF periods")
+	}
+	if cycles == 0 {
+		t.Fatal("leap gate fired but skipped zero cycles")
+	}
+	if res.MeasuredPackets == 0 {
+		t.Error("no measured packets; the run exercised nothing")
+	}
+}
+
+// TestMMPRateChangeRewind extends the SetInjectionRate presample-rewind
+// invariant to the stateful MMP process: the already-elapsed cycles replay
+// at the old rate in the old phase, and the new rate takes effect at the
+// current cycle, exactly as per-cycle ticking has it.
+func TestMMPRateChangeRewind(t *testing.T) {
+	mk := func(leap bool) *Network {
+		cfg := workloadConfig(meshConfig, 0.05, traffic.Workload{Process: "mmp", BurstLen: 16, Duty: 0.25})
+		cfg.Leap = leap
+		return New(cfg)
+	}
+	a, b := mk(true), mk(false)
+	step := func(n *Network, cycles int) {
+		for i := 0; i < cycles; i++ {
+			n.stepCycle()
+		}
+	}
+	for phase, rate := range []float64{0.2, 0, 0.1} {
+		step(a, 150)
+		step(b, 150)
+		a.SetInjectionRate(rate)
+		b.SetInjectionRate(rate)
+		if as, bs := a.SentFlits(), b.SentFlits(); as != bs {
+			t.Fatalf("phase %d: presampling run sent %d flits, per-cycle run %d", phase, as, bs)
+		}
+	}
+	step(a, 300)
+	step(b, 300)
+	ac, ad := a.Conservation()
+	bc, bd := b.Conservation()
+	if ac != bc || ad != bd {
+		t.Errorf("after rate changes: presampling (created %d delivered %d) != per-cycle (created %d delivered %d)",
+			ac, ad, bc, bd)
+	}
+}

@@ -3,6 +3,7 @@ package sweep
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -261,6 +262,77 @@ func TestServerDiskCorruptionFallsBackToSim(t *testing.T) {
 	// The Put after the re-simulation healed the file.
 	if healed, err := os.ReadFile(path); err != nil || !bytes.Equal(healed, orig) {
 		t.Fatalf("cache file not healed: err=%v", err)
+	}
+}
+
+// TestServerHealsStaleV2Cache pins the v2→v3 schema-bump migration story
+// end-to-end: a cache root left over from a v2 server — its v2/ directory
+// full of old-schema entries, plus (simulating a botched manual migration) a
+// v2-versioned payload sitting inside the v3 directory under the unit's v3
+// key — serves nothing. The request is a counted miss that re-simulates, and
+// the write-through heals the v3 entry in place; the v2 directory is never
+// touched.
+func TestServerHealsStaleV2Cache(t *testing.T) {
+	root := t.TempDir()
+	// Phase lengths are spelled explicitly so the precomputed key matches
+	// the unit after the server applies its defaults.
+	req := Request{Base: UnitConfig{Topo: "mesh", Rate: 0.2, Seed: 42, Warmup: 200, Measure: 400, Drain: 2000}}
+	key := req.Base.Normalized().Key()
+
+	// Old-schema tier: entries under v2/ are invisible to a v3 store no
+	// matter what they contain.
+	oldDir := filepath.Join(root, "v2")
+	if err := os.MkdirAll(oldDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	staleOld, _ := json.Marshal(UnitResult{SchemaVersion: 2, Key: "stalev2key", Latency: 99})
+	if err := os.WriteFile(filepath.Join(oldDir, "stalev2key"+diskSuffix), staleOld, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Botched migration: a v2-versioned result filed under the v3 key in
+	// the v3 directory. validDiskResult must refuse it.
+	newDir := filepath.Join(root, fmt.Sprintf("v%d", SchemaVersion))
+	if err := os.MkdirAll(newDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale, _ := json.Marshal(UnitResult{SchemaVersion: 2, Key: key, Latency: 99})
+	if err := os.WriteFile(filepath.Join(newDir, key+diskSuffix), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := Options{Defaults: goldenScale(1), Exec: Exec{Leap: true}, Workers: 1, CacheDir: root}
+	s, ts := newTestServer(t, opts)
+	res := postSweep(t, ts.Client(), ts.URL, req)
+	if res.Summary.Misses != 1 || s.SimRuns() != 1 {
+		t.Fatalf("stale v2 entries must be counted misses that re-simulate: %+v, sims=%d", res.Summary, s.SimRuns())
+	}
+	if st := s.Disk().Stats(); st.LoadErrors < 1 {
+		t.Fatalf("wrong-version read not counted as a load error: %+v", st)
+	}
+
+	// The write-through healed the v3 entry: a fresh store serves the
+	// re-simulated bytes.
+	d, err := OpenDiskStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get(key)
+	if !ok || !bytes.Equal(got, res.byIndex(0).Result) {
+		t.Fatal("v3 entry not healed by the re-simulating miss")
+	}
+	// A second server over the healed root serves the unit from disk.
+	s2, ts2 := newTestServer(t, opts)
+	warm := postSweep(t, ts2.Client(), ts2.URL, req)
+	if warm.Summary.Hits != 1 || s2.SimRuns() != 0 {
+		t.Fatalf("healed entry not served from disk: %+v, sims=%d", warm.Summary, s2.SimRuns())
+	}
+	if !bytes.Equal(warm.byIndex(0).Result, res.byIndex(0).Result) {
+		t.Fatal("healed bytes differ from the miss that wrote them")
+	}
+	// The v2 tier is retired, not rewritten.
+	if b, err := os.ReadFile(filepath.Join(oldDir, "stalev2key"+diskSuffix)); err != nil || !bytes.Equal(b, staleOld) {
+		t.Fatalf("v2 directory disturbed: %v", err)
 	}
 }
 

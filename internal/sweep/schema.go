@@ -43,7 +43,15 @@ import (
 // The switch allocator's arbiter kind is NOT collapsed: the SA wavefront
 // datapath uses ArbKind for its VC pre-selection arbiters (Fig. 8c), which
 // can change grant sequences.
-const SchemaVersion = 2
+//
+// v3: the unit grew the injection-workload axes of traffic.Workload —
+// arrival process (bernoulli/mmp/trace), burst parameters, hotspot set and
+// fraction, and the content digest of a replayed trace. Normalized mirrors
+// Workload.Normalized's canonicalization (parameters irrelevant to the
+// selected process/pattern are cleared), and the canonical serialization
+// gained the new lines between pattern and rate, so every v2 key is
+// retired.
+const SchemaVersion = 3
 
 // UnitConfig is one (config, seed) simulation unit: the semantic
 // description of a run, and nothing else. Execution hints — shard count,
@@ -73,9 +81,26 @@ type UnitConfig struct {
 	SAArch   string `json:"sa_arch,omitempty"`
 	SAArb    string `json:"sa_arb,omitempty"`
 	SpecMode string `json:"spec_mode,omitempty"`
-	// Pattern is the traffic pattern name (traffic.NewPattern); default
-	// "uniform".
+	// Pattern is the traffic pattern name (traffic.NewPattern vocabulary
+	// plus "hotspot"); default "uniform".
 	Pattern string `json:"pattern,omitempty"`
+	// Process names the arrival process ("bernoulli", "mmp"); default
+	// "bernoulli". "trace" is part of the schema vocabulary — TraceDigest
+	// content-addresses the replayed trace — but Validate rejects it
+	// server-side: the service has no channel to materialize trace bytes, so
+	// trace-driven units stay batch-only (see cmd/nocsim -record/-trace).
+	Process string `json:"process,omitempty"`
+	// BurstLen and Duty parameterize the "mmp" process (defaults 32 and
+	// 0.25, mirroring traffic.Workload).
+	BurstLen float64 `json:"burst_len,omitempty"`
+	Duty     float64 `json:"duty,omitempty"`
+	// Hotspots and HotspotFraction parameterize the "hotspot" pattern
+	// (defaults {0} and traffic.DefaultHotspotFraction).
+	Hotspots        []int   `json:"hotspots,omitempty"`
+	HotspotFraction float64 `json:"hotspot_fraction,omitempty"`
+	// TraceDigest is trace.ArrivalsDigest of the replayed packet trace when
+	// Process is "trace"; cleared otherwise.
+	TraceDigest string `json:"trace_digest,omitempty"`
 	// Rate is the offered load in flits/cycle/terminal.
 	Rate float64 `json:"rate"`
 	// ReadFraction is the probability a transaction is a read; nil means
@@ -138,8 +163,17 @@ func (c UnitConfig) Normalized() UnitConfig {
 	if c.SpecMode == "" {
 		c.SpecMode = core.SpecReq.String()
 	}
-	if c.Pattern == "" {
-		c.Pattern = "uniform"
+	// Workload axes canonicalize exactly as traffic.Workload.Normalized
+	// does (defaults filled, irrelevant parameters cleared), so two
+	// spellings of one workload share one content key.
+	w := c.workload().Normalized()
+	c.Pattern = w.Pattern
+	c.Process = w.Process
+	c.Rate = w.Rate
+	c.BurstLen, c.Duty = w.BurstLen, w.Duty
+	c.Hotspots, c.HotspotFraction = w.Hotspots, w.HotspotFraction
+	if c.Process != "trace" {
+		c.TraceDigest = ""
 	}
 	if c.ReadFraction == nil {
 		rf := 0.5
@@ -158,6 +192,20 @@ func (c UnitConfig) Normalized() UnitConfig {
 		c.Drain = 20000
 	}
 	return c
+}
+
+// workload assembles the unit's traffic.Workload view (trace bytes are
+// never attached; the service content-addresses them by TraceDigest only).
+func (c UnitConfig) workload() traffic.Workload {
+	return traffic.Workload{
+		Process:         c.Process,
+		Rate:            c.Rate,
+		Pattern:         c.Pattern,
+		BurstLen:        c.BurstLen,
+		Duty:            c.Duty,
+		Hotspots:        c.Hotspots,
+		HotspotFraction: c.HotspotFraction,
+	}
 }
 
 // Validate checks the normalized config against the design-point,
@@ -186,9 +234,15 @@ func (c UnitConfig) Validate() error {
 	if _, err := ParseSpecMode(c.SpecMode); err != nil {
 		return err
 	}
-	// Patterns are defined over the design point's terminal count (both
-	// paper networks have 64 terminals).
-	if _, err := traffic.NewPattern(c.Pattern, terminalsFor(pt)); err != nil {
+	// Trace replay is batch-only: a unit carries only the trace's content
+	// digest, and the service has no channel to materialize the bytes.
+	if c.Process == "trace" {
+		return fmt.Errorf("sweep: process %q is batch-only (the service cannot materialize trace bytes; use cmd/nocsim -trace)", c.Process)
+	}
+	// The workload axes (process, pattern, burst and hotspot parameters) are
+	// validated over the design point's terminal count (both paper networks
+	// concentrate to 64 terminals).
+	if err := c.workload().Validate(terminalsFor(pt)); err != nil {
 		return err
 	}
 	if c.Rate < 0 || c.Rate > 1 {
@@ -248,6 +302,16 @@ func (c UnitConfig) canonical() string {
 	wr("sa_arb", c.SAArb)
 	wr("spec_mode", c.SpecMode)
 	wr("pattern", c.Pattern)
+	wr("process", c.Process)
+	wr("burst_len", strconv.FormatFloat(c.BurstLen, 'x', -1, 64))
+	wr("duty", strconv.FormatFloat(c.Duty, 'x', -1, 64))
+	hs := make([]string, len(c.Hotspots))
+	for i, h := range c.Hotspots {
+		hs[i] = strconv.Itoa(h)
+	}
+	wr("hotspots", strings.Join(hs, ","))
+	wr("hotspot_fraction", strconv.FormatFloat(c.HotspotFraction, 'x', -1, 64))
+	wr("trace_digest", c.TraceDigest)
 	wr("rate", strconv.FormatFloat(c.Rate, 'x', -1, 64))
 	wr("read_fraction", strconv.FormatFloat(*c.ReadFraction, 'x', -1, 64))
 	wr("buf_depth", strconv.Itoa(c.BufDepth))
@@ -281,6 +345,7 @@ func (c UnitConfig) BuildSim(exec Exec) (sim.Config, error) {
 	scale := experiments.SimScale{
 		Warmup: c.Warmup, Measure: c.Measure, Drain: c.Drain, Seed: c.Seed,
 		Shards: exec.Shards, Dense: exec.Dense, DenseRequests: exec.DenseRequests, Leap: exec.Leap,
+		Workload: c.workload(),
 	}
 	cfg := experiments.BuildSim(pt, c.Rate, scale)
 	cfg.VA.Arch, _ = ParseArch(c.VAArch)
@@ -291,13 +356,6 @@ func (c UnitConfig) BuildSim(exec Exec) (sim.Config, error) {
 	cfg.SA.SpecMode, _ = ParseSpecMode(c.SpecMode)
 	cfg.BufDepth = c.BufDepth
 	cfg.ReadFraction = c.ReadFraction
-	if c.Pattern != "uniform" {
-		p, err := traffic.NewPattern(c.Pattern, cfg.Topology.Terminals())
-		if err != nil {
-			return sim.Config{}, err
-		}
-		cfg.Pattern = p
-	}
 	return cfg, nil
 }
 

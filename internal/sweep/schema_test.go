@@ -49,6 +49,12 @@ func TestKeySensitivity(t *testing.T) {
 		"sa_arb":        {Topo: "mesh", SAArb: "m", Rate: 0.3, Seed: 42},
 		"spec_mode":     {Topo: "mesh", SpecMode: "nonspec", Rate: 0.3, Seed: 42},
 		"pattern":       {Topo: "mesh", Pattern: "transpose", Rate: 0.3, Seed: 42},
+		"process":       {Topo: "mesh", Process: "mmp", Rate: 0.3, Seed: 42},
+		"burst_len":     {Topo: "mesh", Process: "mmp", BurstLen: 64, Rate: 0.3, Seed: 42},
+		"duty":          {Topo: "mesh", Process: "mmp", Duty: 0.5, Rate: 0.3, Seed: 42},
+		"hotspots":      {Topo: "mesh", Pattern: "hotspot", Hotspots: []int{3, 7}, Rate: 0.3, Seed: 42},
+		"hotspot_frac":  {Topo: "mesh", Pattern: "hotspot", HotspotFraction: 0.5, Rate: 0.3, Seed: 42},
+		"hotspot_def":   {Topo: "mesh", Pattern: "hotspot", Rate: 0.3, Seed: 42},
 		"rate":          {Topo: "mesh", Rate: 0.30000000000000004, Seed: 42},
 		"read_fraction": {Topo: "mesh", ReadFraction: &rf0, Rate: 0.3, Seed: 42},
 		"buf_depth":     {Topo: "mesh", BufDepth: 4, Rate: 0.3, Seed: 42},
@@ -75,7 +81,7 @@ func TestKeySensitivity(t *testing.T) {
 func TestKeyGoldenPinned(t *testing.T) {
 	cfg := UnitConfig{Topo: "mesh", Rate: 0.3, Seed: 42}
 	wantCanonical := strings.Join([]string{
-		"noc-sweep/v2",
+		"noc-sweep/v3",
 		"topo=mesh",
 		"vcs_per_class=1",
 		"va_arch=sep_if",
@@ -85,6 +91,12 @@ func TestKeyGoldenPinned(t *testing.T) {
 		"sa_arb=rr",
 		"spec_mode=spec_req",
 		"pattern=uniform",
+		"process=bernoulli",
+		"burst_len=0x0p+00",
+		"duty=0x0p+00",
+		"hotspots=",
+		"hotspot_fraction=0x0p+00",
+		"trace_digest=",
 		"rate=0x1.3333333333333p-02",
 		"read_fraction=0x1p-01",
 		"buf_depth=8",
@@ -97,7 +109,7 @@ func TestKeyGoldenPinned(t *testing.T) {
 	if got := cfg.Normalized().canonical(); got != wantCanonical {
 		t.Fatalf("canonical serialization changed (schema change? bump SchemaVersion and re-pin):\ngot:\n%s\nwant:\n%s", got, wantCanonical)
 	}
-	const wantKey = "8f62cc6379f7511c0c95a6450d93385924bb5f9f61293c8facea7cfc59d9fe48"
+	const wantKey = "8e8c03cba715202a435f3736d50bdf70458c9ed0cff2b13699db25cf3464fdc9"
 	if got := cfg.Key(); got != wantKey {
 		t.Fatalf("pinned golden key changed:\ngot  %s\nwant %s", got, wantKey)
 	}
@@ -141,15 +153,57 @@ func TestValidateRejects(t *testing.T) {
 		{Topo: "mesh", Rate: -0.1},
 		{Topo: "mesh", Rate: 0.1, BufDepth: -1},
 		{Topo: "mesh", Rate: 0.1, Measure: -5},
+		{Topo: "mesh", Rate: 0.1, Process: "poisson"},
+		{Topo: "mesh", Rate: 0.1, Process: "trace"},                          // batch-only
+		{Topo: "mesh", Rate: 0.1, Process: "trace", TraceDigest: "abc"},      // batch-only even with digest
+		{Topo: "mesh", Rate: 0.9, Process: "mmp", Duty: 0.1},                 // ON-phase rate > 1 flit/cycle
+		{Topo: "mesh", Rate: 0.1, Process: "mmp", Duty: 1.5},                 // duty > 1
+		{Topo: "mesh", Rate: 0.1, Process: "mmp", BurstLen: 0.5},             // burst < 1 cycle
+		{Topo: "mesh", Rate: 0.1, Pattern: "hotspot", Hotspots: []int{64}},   // out of range
+		{Topo: "mesh", Rate: 0.1, Pattern: "hotspot", Hotspots: []int{3, 3}}, // duplicate
+		{Topo: "mesh", Rate: 0.1, Pattern: "hotspot", HotspotFraction: 1.5},  // fraction > 1
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("bad config %d validated: %+v", i, cfg)
 		}
 	}
-	good := UnitConfig{Topo: "fbfly", VCsPerClass: 2, SAArch: "wf", SpecMode: "nonspec", Pattern: "tornado", Rate: 0.4, Seed: 1}
-	if err := good.Validate(); err != nil {
-		t.Fatalf("good config rejected: %v", err)
+	good := []UnitConfig{
+		{Topo: "fbfly", VCsPerClass: 2, SAArch: "wf", SpecMode: "nonspec", Pattern: "tornado", Rate: 0.4, Seed: 1},
+		{Topo: "mesh", Process: "mmp", BurstLen: 16, Duty: 0.5, Rate: 0.3, Seed: 1},
+		{Topo: "mesh", Pattern: "hotspot", Hotspots: []int{3, 7}, HotspotFraction: 0.4, Rate: 0.2, Seed: 1},
+	}
+	for i, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("good config %d rejected: %v", i, err)
+		}
+	}
+}
+
+// TestKeyWorkloadCollapse pins the v3 canonicalization rule inherited from
+// traffic.Workload.Normalized: parameters irrelevant to the selected
+// process/pattern (burst knobs under bernoulli, hotspot knobs under
+// uniform, a stray trace digest) are cleared before hashing, so they cannot
+// differentiate units.
+func TestKeyWorkloadCollapse(t *testing.T) {
+	base := UnitConfig{Topo: "mesh", Rate: 0.3, Seed: 42}
+	inert := []UnitConfig{
+		{Topo: "mesh", Rate: 0.3, Seed: 42, Process: "bernoulli", BurstLen: 64, Duty: 0.5},
+		{Topo: "mesh", Rate: 0.3, Seed: 42, Hotspots: []int{3}, HotspotFraction: 0.9},
+		{Topo: "mesh", Rate: 0.3, Seed: 42, TraceDigest: "deadbeef"},
+	}
+	for i, cfg := range inert {
+		if cfg.Key() != base.Key() {
+			t.Errorf("config %d: inert workload parameters moved the key:\n%s\nvs\n%s",
+				i, cfg.Normalized().canonical(), base.Normalized().canonical())
+		}
+	}
+	// And the defaulted spelling of an active parameter collapses onto the
+	// explicit default.
+	mmpDef := UnitConfig{Topo: "mesh", Rate: 0.3, Seed: 42, Process: "mmp"}
+	mmpExpl := UnitConfig{Topo: "mesh", Rate: 0.3, Seed: 42, Process: "mmp", BurstLen: 32, Duty: 0.25}
+	if mmpDef.Key() != mmpExpl.Key() {
+		t.Error("defaulted and explicit mmp parameters hash differently")
 	}
 }
 

@@ -17,15 +17,18 @@ import (
 // allocator × speculation mode × pattern × seed × rate becomes one unit
 // (an omitted axis keeps the base's own value) — and any explicitly listed
 // Units are appended after the expansion. Unit order is deterministic:
-// rates vary fastest, then seeds, patterns, spec modes, and sa_archs
-// slowest, so clients can index results positionally as well as by key.
+// rates vary fastest, then seeds, processes, patterns, spec modes, and
+// sa_archs slowest, so clients can index results positionally as well as by
+// key.
 type Request struct {
 	// Base is the unit template; zero fields take schema defaults.
 	Base UnitConfig `json:"base"`
-	// SAArchs, SpecModes, Patterns, Seeds and Rates are the expansion axes.
+	// SAArchs, SpecModes, Patterns, Processes, Seeds and Rates are the
+	// expansion axes.
 	SAArchs   []string  `json:"sa_archs,omitempty"`
 	SpecModes []string  `json:"spec_modes,omitempty"`
 	Patterns  []string  `json:"patterns,omitempty"`
+	Processes []string  `json:"processes,omitempty"`
 	Seeds     []uint64  `json:"seeds,omitempty"`
 	Rates     []float64 `json:"rates,omitempty"`
 	// Units are appended verbatim (each normalized independently).
@@ -46,6 +49,10 @@ func (r Request) Expand() ([]UnitConfig, error) {
 	if len(patterns) == 0 {
 		patterns = []string{r.Base.Pattern}
 	}
+	processes := r.Processes
+	if len(processes) == 0 {
+		processes = []string{r.Base.Process}
+	}
 	seeds := r.Seeds
 	if len(seeds) == 0 {
 		seeds = []uint64{r.Base.Seed}
@@ -58,11 +65,13 @@ func (r Request) Expand() ([]UnitConfig, error) {
 	for _, arch := range archs {
 		for _, mode := range modes {
 			for _, pat := range patterns {
-				for _, seed := range seeds {
-					for _, rate := range rates {
-						u := r.Base
-						u.SAArch, u.SpecMode, u.Pattern, u.Seed, u.Rate = arch, mode, pat, seed, rate
-						units = append(units, u.Normalized())
+				for _, proc := range processes {
+					for _, seed := range seeds {
+						for _, rate := range rates {
+							u := r.Base
+							u.SAArch, u.SpecMode, u.Pattern, u.Process, u.Seed, u.Rate = arch, mode, pat, proc, seed, rate
+							units = append(units, u.Normalized())
+						}
 					}
 				}
 			}
@@ -264,6 +273,28 @@ func (s *Server) applyDefaults(u UnitConfig) UnitConfig {
 	}
 	if u.Seed == 0 && s.defaults.Seed != 0 {
 		u.Seed = s.defaults.Seed
+	}
+	// Workload defaults (a sweepd -process/-pattern/-burstlen/... flag set)
+	// fill zero fields the same way; Normalized later clears whatever is
+	// irrelevant to the finally selected process/pattern.
+	d := s.defaults.Workload
+	if u.Process == "" {
+		u.Process = d.Process
+	}
+	if u.Pattern == "" {
+		u.Pattern = d.Pattern
+	}
+	if u.BurstLen == 0 {
+		u.BurstLen = d.BurstLen
+	}
+	if u.Duty == 0 {
+		u.Duty = d.Duty
+	}
+	if len(u.Hotspots) == 0 {
+		u.Hotspots = d.Hotspots
+	}
+	if u.HotspotFraction == 0 {
+		u.HotspotFraction = d.HotspotFraction
 	}
 	return u
 }

@@ -98,8 +98,10 @@ type Pattern interface {
 
 // NewPattern constructs a pattern by name over n terminals. Supported:
 // "uniform", "transpose", "bitcomp", "bitrev", "shuffle", "tornado",
-// "neighbor". Permutation patterns require n to be a power of two (and
-// "transpose" a square power of two), matching standard usage.
+// "neighbor", "hotspot" (with default hotspot set and fraction; use
+// NewHotspot for explicit parameters). Permutation patterns require n to be
+// a power of two (and "transpose" a square power of two), matching standard
+// usage.
 func NewPattern(name string, n int) (Pattern, error) {
 	if n <= 1 {
 		return nil, fmt.Errorf("traffic: need at least 2 terminals, got %d", n)
@@ -107,6 +109,8 @@ func NewPattern(name string, n int) (Pattern, error) {
 	switch name {
 	case "uniform":
 		return uniform{n: n}, nil
+	case "hotspot":
+		return NewHotspot(n, nil, 0)
 	case "transpose", "bitcomp", "bitrev", "shuffle":
 		if n&(n-1) != 0 {
 			return nil, fmt.Errorf("traffic: %s requires power-of-two terminals, got %d", name, n)
@@ -184,48 +188,168 @@ func (nb neighbor) Name() string { return "neighbor" }
 
 func (nb neighbor) Dest(src int, _ *xrand.Source) int { return (src + 1) % nb.n }
 
-// Generator produces the per-terminal injection process of §3.2: new request
-// transactions arrive according to a geometric (Bernoulli-per-cycle) process
-// whose rate is derived from the target flit injection rate, with read and
-// write transactions equally likely.
+// hotspot concentrates a configurable fraction of the traffic onto a small
+// set of hot terminals and spreads the rest uniformly — the §3.2-style
+// non-uniform spatial workload where destination contention separates
+// allocator implementations.
+type hotspot struct {
+	n    int
+	hot  []int
+	frac float64
+	// hotFor[src] is the hot set with src itself removed (a terminal never
+	// sends to itself), precomputed so Dest stays allocation-free.
+	hotFor [][]int
+}
+
+// DefaultHotspotFraction is the traffic share directed at the hot set when
+// none is specified.
+const DefaultHotspotFraction = 0.2
+
+// NewHotspot builds a hotspot pattern over n terminals: with probability
+// frac the destination is drawn uniformly from the hot set, otherwise
+// uniformly from all other terminals. A nil/empty hot set defaults to
+// terminal 0, a zero frac to DefaultHotspotFraction.
+func NewHotspot(n int, hot []int, frac float64) (Pattern, error) {
+	if n <= 1 {
+		return nil, fmt.Errorf("traffic: need at least 2 terminals, got %d", n)
+	}
+	if len(hot) == 0 {
+		hot = []int{0}
+	}
+	if frac == 0 {
+		frac = DefaultHotspotFraction
+	}
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("traffic: hotspot fraction %g outside [0, 1]", frac)
+	}
+	seen := map[int]bool{}
+	for _, h := range hot {
+		if h < 0 || h >= n {
+			return nil, fmt.Errorf("traffic: hotspot terminal %d outside [0, %d)", h, n)
+		}
+		if seen[h] {
+			return nil, fmt.Errorf("traffic: duplicate hotspot terminal %d", h)
+		}
+		seen[h] = true
+	}
+	p := &hotspot{n: n, hot: append([]int(nil), hot...), frac: frac, hotFor: make([][]int, n)}
+	for src := 0; src < n; src++ {
+		dsts := make([]int, 0, len(hot))
+		for _, h := range p.hot {
+			if h != src {
+				dsts = append(dsts, h)
+			}
+		}
+		p.hotFor[src] = dsts
+	}
+	return p, nil
+}
+
+func (h *hotspot) Name() string { return "hotspot" }
+
+// Dest draws the hot-vs-background gate, then a destination uniformly within
+// the chosen set (excluding src). A hot terminal whose hot set holds only
+// itself falls back to the background draw without consuming the set draw,
+// keeping the consumed-draw count a function of (src, gate) only.
+func (h *hotspot) Dest(src int, rng *xrand.Source) int {
+	if hot := h.hotFor[src]; len(hot) > 0 && rng.Bool(h.frac) {
+		return hot[rng.Intn(len(hot))]
+	}
+	d := rng.Intn(h.n - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Generator produces the per-terminal injection workload: an ArrivalProcess
+// decides *when* transactions start (temporal), the Pattern and ReadFraction
+// decide *where* they go and what kind they are (spatial) — unless the
+// process is also a PacketSource (trace replay), which carries both halves.
+//
+// The generator also owns the event-leaping presample state: a bounded batch
+// of future gate draws (Presample), the RNG/process snapshot that lets an
+// early wake-up or rate change rewind and replay them (Rewind), and the
+// SetRate method that encapsulates the rewind-before-rate-change invariant
+// so no caller can bypass it (DESIGN.md §12).
 type Generator struct {
 	// Pattern chooses destinations.
 	Pattern Pattern
-	// InjectionRate is the offered load in flits per cycle per terminal,
-	// counting both request and reply flits as in the paper's figures.
-	InjectionRate float64
 	// ReadFraction is the probability a transaction is a read (default 0.5
 	// when constructed via NewGenerator).
 	ReadFraction float64
+
+	proc ArrivalProcess
+
+	// Presample state: next is the presampled wake-up cycle (-1 = not
+	// sampled) — the next transaction arrival when nextReal, otherwise a
+	// chunk checkpoint at which sampling resumes; snapRNG/snapProc/snapCycle
+	// record the RNG state, process state and cycle at presample time so an
+	// earlier wake-up can rewind and replay the per-cycle gate draws the
+	// dense reference would have made.
+	next      int64
+	nextReal  bool
+	snapRNG   xrand.Source
+	snapProc  ProcState
+	snapCycle int64
 }
 
-// NewGenerator builds a generator with the paper's defaults.
+// NewGenerator builds a generator with the paper's defaults: Bernoulli
+// injection at the given flit rate, reads and writes equally likely.
 func NewGenerator(p Pattern, injectionRate float64) *Generator {
-	return &Generator{Pattern: p, InjectionRate: injectionRate, ReadFraction: 0.5}
+	return NewGeneratorProcess(p, NewBernoulli(injectionRate))
 }
 
-// TransactionRate returns the per-terminal probability of starting a new
-// transaction in a cycle. Every transaction eventually injects
+// NewGeneratorProcess builds a generator around an explicit arrival process.
+func NewGeneratorProcess(p Pattern, proc ArrivalProcess) *Generator {
+	return &Generator{Pattern: p, ReadFraction: 0.5, proc: proc, next: -1}
+}
+
+// Process exposes the arrival process (read-only use; rate changes must go
+// through SetRate).
+func (g *Generator) Process() ArrivalProcess { return g.proc }
+
+// Rate returns the process's offered load in flits/cycle/terminal.
+func (g *Generator) Rate() float64 { return g.proc.Rate() }
+
+// TransactionRate returns the mean per-terminal probability of starting a
+// new transaction in a cycle. Every transaction eventually injects
 // FlitsPerTransaction flits network-wide (request at the source, reply at
 // the destination), so the transaction rate is the flit rate divided by six.
 func (g *Generator) TransactionRate() float64 {
-	return g.InjectionRate / FlitsPerTransaction
+	return g.proc.Rate() / FlitsPerTransaction
+}
+
+// SetRate changes the offered load as of cycle now, owning the presample
+// invariant: a presampled arrival was drawn at the old rate, so it is
+// rewound — replaying the already-elapsed cycles through now-1 at that old
+// rate — before the new rate takes effect at the current cycle, exactly as
+// per-cycle ticking would have it.
+func (g *Generator) SetRate(rng *xrand.Source, rate float64, now int64) {
+	if g.next >= 0 {
+		g.Rewind(rng, now-1)
+	}
+	g.proc.SetRate(rate)
 }
 
 // NextRequest rolls the injection process for one terminal-cycle. It
 // returns (packetType, dest, true) when a new request transaction starts.
 func (g *Generator) NextRequest(src int, rng *xrand.Source) (PacketType, int, bool) {
-	if !rng.Bool(g.TransactionRate()) {
+	if !g.proc.Tick(rng) {
 		return 0, 0, false
 	}
 	t, d := g.RequestAt(src, rng)
 	return t, d, true
 }
 
-// RequestAt draws the type and destination of a transaction whose Bernoulli
-// gate draw was already consumed — the second half of NextRequest, split out
-// for the geometric presampling path (see NextArrivalDelta).
+// RequestAt draws the type and destination of a transaction whose arrival
+// tick was already consumed — the second half of NextRequest, split out for
+// the presampling path. A PacketSource process (trace replay) supplies both
+// directly, consuming no randomness.
 func (g *Generator) RequestAt(src int, rng *xrand.Source) (PacketType, int) {
+	if ps, ok := g.proc.(PacketSource); ok {
+		return ps.PacketAt()
+	}
 	t := WriteRequest
 	if rng.Bool(g.ReadFraction) {
 		t = ReadRequest
@@ -233,27 +357,64 @@ func (g *Generator) RequestAt(src int, rng *xrand.Source) (PacketType, int) {
 	return t, g.Pattern.Dest(src, rng)
 }
 
-// NextArrivalDelta consumes per-cycle Bernoulli gate draws until the first
-// success and returns the number of failures, i.e. the offset in cycles from
-// the current one to the next transaction arrival (0 = this cycle). It draws
-// the exact same stream NextRequest's gate would consume one cycle at a
-// time, which is what keeps event-leaped runs bit-identical to per-cycle
-// ticking; a closed-form inversion sampler deliberately is not used here
-// because it consumes a different number of draws. max bounds the batch: if
-// none of the first max draws succeeds, the sampler stops having consumed
-// exactly max draws and returns -1, so a caller can resample in bounded
-// chunks instead of eagerly consuming a whole geometric run (mean 1/p
-// cycles) the simulation may never reach. TransactionRate() <= 0 also
-// returns -1, consuming nothing.
+// NextArrivalDelta batch-samples the process (see
+// ArrivalProcess.NextArrivalDelta): it returns the offset in cycles to the
+// next transaction arrival (0 = this cycle), or -1 after exactly max ticks
+// with no arrival (or at zero rate, consuming nothing). The draws consumed
+// are exactly those NextRequest's gate would consume one cycle at a time,
+// which is what keeps event-leaped runs bit-identical to per-cycle ticking.
 func (g *Generator) NextArrivalDelta(rng *xrand.Source, max int) int {
-	p := g.TransactionRate()
-	if p <= 0 {
-		return -1
+	return g.proc.NextArrivalDelta(rng, max)
+}
+
+// Presample snapshots the RNG and process state at cycle now, then
+// batch-samples up to chunk gate draws. The presampled wake-up cycle is
+// exposed by PresampledArrival: the arrival cycle itself when the batch
+// found one (PresampledReal true, possibly now itself), otherwise the
+// checkpoint now+chunk where sampling must resume.
+func (g *Generator) Presample(rng *xrand.Source, now int64, chunk int) {
+	g.snapRNG, g.snapProc, g.snapCycle = rng.State(), g.proc.State(), now
+	if d := g.proc.NextArrivalDelta(rng, chunk); d < 0 {
+		g.next, g.nextReal = now+int64(chunk), false
+	} else {
+		g.next, g.nextReal = now+int64(d), true
 	}
-	for k := 0; k < max; k++ {
-		if rng.Bool(p) {
-			return k
+}
+
+// PresampledArrival returns the presampled wake-up cycle, -1 when none is
+// outstanding.
+func (g *Generator) PresampledArrival() int64 { return g.next }
+
+// PresampledReal reports whether the presampled wake-up is an actual
+// arrival (as opposed to a chunk checkpoint).
+func (g *Generator) PresampledReal() bool { return g.nextReal }
+
+// PendingArrival reports whether a presampled real arrival is outstanding:
+// its gate draws were consumed at presample time but it has not been
+// emitted yet. The distinction matters for finite processes — a trace
+// replay's Rate() drops to 0 the moment its last arrival is presampled —
+// so a scheduler must treat a generator with a pending arrival as live
+// even at zero rate, or the final arrival would be leapt over and lost.
+func (g *Generator) PendingArrival() bool { return g.next >= 0 && g.nextReal }
+
+// ClearPresample discards the outstanding presample without touching the
+// RNG: the caller has reached (or consumed) the presampled cycle, so the
+// batched draws exactly cover the elapsed cycles.
+func (g *Generator) ClearPresample() { g.next = -1 }
+
+// Rewind unwinds an outstanding presample to cycle `through`: it restores
+// the RNG and process state captured by Presample and replays the per-cycle
+// gate draws for cycles snapCycle..through — all failures by construction,
+// since through precedes the presampled arrival — leaving the stream
+// exactly where dense per-cycle ticking would have it after cycle through's
+// draw, and the generator unsampled.
+func (g *Generator) Rewind(rng *xrand.Source, through int64) {
+	rng.Restore(g.snapRNG)
+	g.proc.Restore(g.snapProc)
+	for c := g.snapCycle; c <= through; c++ {
+		if g.proc.Tick(rng) {
+			panic("traffic: presample replay produced an arrival before the sampled one")
 		}
 	}
-	return -1
+	g.next = -1
 }

@@ -1,0 +1,148 @@
+package traffic
+
+import "fmt"
+
+// Workload is the unified injection-workload spec threaded from the CLI
+// flag layer (experiments.WorkloadFlags) through sim.Config, the sweep
+// schema and the design-space search: an arrival process, a traffic
+// pattern, and their parameters, all by value so the spec serializes and
+// hashes cleanly. The zero Workload means "paper default": Bernoulli
+// injection over uniform random traffic.
+type Workload struct {
+	// Process names the arrival process: "bernoulli" (default), "mmp"
+	// (Markov-modulated on/off bursty), or "trace" (replay of Trace).
+	Process string `json:"process,omitempty"`
+	// Rate is the mean offered load in flits/cycle/terminal (ignored by
+	// trace replay, whose timing is data).
+	Rate float64 `json:"rate,omitempty"`
+	// Pattern names the spatial pattern (NewPattern vocabulary plus
+	// "hotspot"); ignored by trace replay.
+	Pattern string `json:"pattern,omitempty"`
+	// BurstLen and Duty parameterize "mmp": mean ON-burst length in cycles
+	// (default 32) and long-run ON fraction (default 0.25).
+	BurstLen float64 `json:"burst_len,omitempty"`
+	Duty     float64 `json:"duty,omitempty"`
+	// Hotspots and HotspotFraction parameterize the "hotspot" pattern: the
+	// hot terminal set (default {0}) and the traffic share sent to it
+	// (default DefaultHotspotFraction).
+	Hotspots        []int   `json:"hotspots,omitempty"`
+	HotspotFraction float64 `json:"hotspot_fraction,omitempty"`
+	// Trace is the recorded packet trace "trace" replays.
+	Trace *PacketTrace `json:"-"`
+}
+
+// Normalized fills every defaultable zero field, canonicalizing the spec:
+// parameters irrelevant to the selected process/pattern are cleared, so two
+// spellings that describe the same workload compare (and hash) equal.
+func (w Workload) Normalized() Workload {
+	if w.Process == "" {
+		if w.Trace != nil {
+			w.Process = "trace"
+		} else {
+			w.Process = "bernoulli"
+		}
+	}
+	if w.Pattern == "" {
+		w.Pattern = "uniform"
+	}
+	if w.Process == "mmp" {
+		if w.BurstLen == 0 {
+			w.BurstLen = 32
+		}
+		if w.Duty == 0 {
+			w.Duty = 0.25
+		}
+	} else {
+		w.BurstLen, w.Duty = 0, 0
+	}
+	if w.Pattern == "hotspot" {
+		if len(w.Hotspots) == 0 {
+			w.Hotspots = []int{0}
+		}
+		if w.HotspotFraction == 0 {
+			w.HotspotFraction = DefaultHotspotFraction
+		}
+	} else {
+		w.Hotspots, w.HotspotFraction = nil, 0
+	}
+	if w.Process == "trace" {
+		// The trace carries timing, destinations and types; the rate and
+		// pattern knobs are inert and must not differentiate specs.
+		w.Rate, w.Pattern = 0, "uniform"
+	}
+	return w
+}
+
+// Validate checks the normalized workload over n terminals without building
+// any process.
+func (w Workload) Validate(n int) error {
+	w = w.Normalized()
+	switch w.Process {
+	case "bernoulli":
+	case "mmp":
+		if _, err := NewMMP(w.Rate, w.BurstLen, w.Duty); err != nil {
+			return err
+		}
+	case "trace":
+		if w.Trace == nil {
+			return fmt.Errorf("traffic: workload process %q needs a trace", w.Process)
+		}
+		if err := w.Trace.Validate(); err != nil {
+			return err
+		}
+		if w.Trace.Terminals > n {
+			return fmt.Errorf("traffic: trace recorded over %d terminals, network has %d", w.Trace.Terminals, n)
+		}
+	default:
+		return fmt.Errorf("traffic: unknown arrival process %q", w.Process)
+	}
+	if w.Rate < 0 {
+		return fmt.Errorf("traffic: workload rate %g < 0", w.Rate)
+	}
+	if w.Process != "trace" {
+		if _, err := w.NewPattern(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewPattern builds the workload's spatial pattern over n terminals.
+func (w Workload) NewPattern(n int) (Pattern, error) {
+	w = w.Normalized()
+	if w.Pattern == "hotspot" {
+		return NewHotspot(n, w.Hotspots, w.HotspotFraction)
+	}
+	return NewPattern(w.Pattern, n)
+}
+
+// Processes builds one arrival process per terminal (n of them). Trace
+// replay splits the trace by source once and hands each terminal its slice;
+// terminals beyond the recorded count get empty (immediately quiet)
+// replays.
+func (w Workload) Processes(n int) ([]ArrivalProcess, error) {
+	w = w.Normalized()
+	if err := w.Validate(n); err != nil {
+		return nil, err
+	}
+	procs := make([]ArrivalProcess, n)
+	switch w.Process {
+	case "bernoulli":
+		for i := range procs {
+			procs[i] = NewBernoulli(w.Rate)
+		}
+	case "mmp":
+		for i := range procs {
+			m, err := NewMMP(w.Rate, w.BurstLen, w.Duty)
+			if err != nil {
+				return nil, err
+			}
+			procs[i] = m
+		}
+	case "trace":
+		for src, arr := range w.Trace.BySource(n) {
+			procs[src] = NewReplay(arr)
+		}
+	}
+	return procs, nil
+}
