@@ -16,6 +16,9 @@
 //     content-store hit, and coalescing of concurrent identical requests.
 //   - BENCH_pareto.json: design-space search mechanisms — pruned-vs-brute
 //     simulation counts and disk-cold vs disk-warm search wall time.
+//   - BENCH_curve.json: adaptive curve tracer — adaptive vs fixed-grid point
+//     counts, trace wall time cold vs share-cache vs disk-warm, and the
+//     per-simulation setup cost with and without shared immutable precompute.
 //
 // Usage:
 //
@@ -509,11 +512,13 @@ func main() {
 	sweepdOut := flag.String("sweepdout", "BENCH_sweepd.json", "sweep service report output ('-' for stdout, '' to skip)")
 	hitIters := flag.Int("hititers", 200, "cache-hit serves averaged per sweepd measurement")
 	paretoOut := flag.String("paretoout", "BENCH_pareto.json", "design-space search report output ('-' for stdout, '' to skip)")
+	curveOut := flag.String("curveout", "BENCH_curve.json", "adaptive curve tracer report output ('-' for stdout, '' to skip)")
+	setupIters := flag.Int("setupiters", 100, "BuildSim+sim.New constructions averaged per curve setup measurement")
 	scaleOf := experiments.ScaleFlags(flag.CommandLine, benchScale)
 	flag.Parse()
 	benchScale = scaleOf()
 	if *quick {
-		*iters, *allocCycles, *trials, *hitIters = 1, 2000, 100, 50
+		*iters, *allocCycles, *trials, *hitIters, *setupIters = 1, 2000, 100, 50, 20
 	}
 
 	if *out != "" {
@@ -530,5 +535,8 @@ func main() {
 	}
 	if *paretoOut != "" {
 		emit(paretoBench(), *paretoOut)
+	}
+	if *curveOut != "" {
+		emit(curveBench(*setupIters), *curveOut)
 	}
 }

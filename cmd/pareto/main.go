@@ -19,6 +19,7 @@
 //	pareto -cachedir ~/.noc-sweep   # disk-warm across runs
 //	pareto -topos mesh -vcs 1,2 -noprune
 //	pareto -patterns uniform,hotspot -processes bernoulli,mmp
+//	pareto -curves                  # adaptive latency-throughput curve per frontier point
 //	pareto -smoke                   # reduced space + tiny scale (CI)
 //
 // The -patterns/-processes axes default to the paper baseline singletons
@@ -41,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/curve"
 	"repro/internal/dse"
 	"repro/internal/experiments"
 	"repro/internal/prof"
@@ -60,6 +62,9 @@ func main() {
 	duty := flag.Float64("duty", 0, "mmp duty cycle when the processes axis includes mmp (default 0.25)")
 	hotspots := flag.String("hotspots", "", "comma-separated hotspot terminals when the patterns axis includes hotspot (default 0)")
 	hotFrac := flag.Float64("hotfrac", 0, "fraction of traffic aimed at the hotspot set (default 0.2)")
+	curves := flag.Bool("curves", false, "after the search, trace an adaptive latency-throughput curve for every frontier point (each curve reuses the search's cached evaluation point)")
+	curveStep := flag.Float64("curvestep", experiments.DefaultLatticeStep, "rate-lattice step for -curves; every sampled rate is an exact multiple")
+	curvePoints := flag.Int("curvepoints", 0, "simulated-point budget per curve for -curves (default 64)")
 	noPrune := flag.Bool("noprune", false, "disable dominance pruning (simulate every feasible point; frontier is identical)")
 	smoke := flag.Bool("smoke", false, "reduced space at a tiny scale (CI smoke)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -71,6 +76,22 @@ func main() {
 	scale := scaleOf()
 	stop := prof.Start(*cpuprofile, *memprofile)
 	defer stop()
+
+	if *curves {
+		// Snap the evaluation loads onto the curve lattice: the search then
+		// simulates its frontier points at canonical lattice rates, so every
+		// curve traced afterwards gets its evaluation point back as a cache
+		// hit instead of a fresh simulation.
+		lat := experiments.RateLattice{Step: *curveStep}
+		mr, fr := *meshRate, *fbflyRate
+		if mr == 0 {
+			mr = 0.44
+		}
+		if fr == 0 {
+			fr = 0.60
+		}
+		*meshRate, *fbflyRate = lat.Snap(mr), lat.Snap(fr)
+	}
 
 	spec := dse.Spec{
 		Topos:     splitCSV(*topos),
@@ -131,8 +152,22 @@ func main() {
 			p.Label, p.DelayNS, p.AreaUM2, p.PowerMW, p.Perf, p.Latency)
 	}
 
+	var traced []namedTrace
+	if *curves {
+		if traced, err = traceFrontier(srv, res.Frontier, *curveStep, *curvePoints, scale.Workers); err != nil {
+			log.Fatal("pareto: ", err)
+		}
+	}
+
 	if *out != "" {
-		b, err := json.MarshalIndent(res, "", "  ")
+		var v any = res
+		if *curves {
+			v = struct {
+				dse.Result
+				Curves []namedTrace `json:"curves"`
+			}{res, traced}
+		}
+		b, err := json.MarshalIndent(v, "", "  ")
 		if err != nil {
 			log.Fatal("pareto: ", err)
 		}
@@ -143,6 +178,53 @@ func main() {
 			log.Fatal("pareto: ", err)
 		}
 	}
+}
+
+// namedTrace pairs a frontier point's label with its adaptive trace in the
+// -out JSON.
+type namedTrace struct {
+	Label string      `json:"label"`
+	Trace curve.Trace `json:"trace"`
+}
+
+// traceFrontier traces one adaptive latency-throughput curve per frontier
+// point through the same server the search ran on — the evaluation points
+// the search already simulated come back as cache hits — and prints one
+// union-grid table per topology plus a knee summary per curve.
+func traceFrontier(srv *sweep.Server, frontier []dse.FrontierPoint, step float64, maxPoints, workers int) ([]namedTrace, error) {
+	var traced []namedTrace
+	byTopo := map[string][]experiments.NetSeries{}
+	var topoOrder []string
+	start := time.Now()
+	for i, p := range frontier {
+		spec := curve.Spec{Base: p.Unit, Step: step, MaxPoints: maxPoints}
+		fmt.Fprintf(os.Stderr, "\rpareto: tracing curve %d/%d (%s)", i+1, len(frontier), p.Label)
+		tr, err := curve.TraceCurve(context.Background(), srv, spec, curve.Options{Workers: workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr)
+			return nil, err
+		}
+		traced = append(traced, namedTrace{Label: p.Label, Trace: tr})
+		if _, ok := byTopo[p.Unit.Topo]; !ok {
+			topoOrder = append(topoOrder, p.Unit.Topo)
+		}
+		byTopo[p.Unit.Topo] = append(byTopo[p.Unit.Topo], tr.Series(p.Label))
+	}
+	fmt.Fprintln(os.Stderr)
+
+	fmt.Printf("\nadaptive curves (%d traced, %v):\n", len(traced), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("%-52s %9s %10s %12s\n", "design point", "knee", "simulated", "fixed grid")
+	for _, nt := range traced {
+		knee := fmt.Sprintf("%.*f", 2, nt.Trace.KneeRate)
+		if !nt.Trace.KneeFound {
+			knee = ">" + knee
+		}
+		fmt.Printf("%-52s %9s %10d %12d\n", nt.Label, knee, nt.Trace.Simulated, nt.Trace.FixedGridPoints)
+	}
+	for _, topo := range topoOrder {
+		fmt.Printf("\n%s curves:\n%s", topo, experiments.FormatNetSeries(byTopo[topo]))
+	}
+	return traced, nil
 }
 
 func splitCSV(s string) []string {

@@ -18,8 +18,14 @@
 // Endpoints:
 //
 //	POST /sweep    {"base":{...},"sa_archs":[...],"rates":[...]}  → NDJSON
+//	POST /curve    {"base":{...},"step":0.01,...}  → adaptive-trace job (poll GET, cancel DELETE)
+//	POST /pareto   design-space-search job (poll GET, cancel DELETE)
 //	GET  /healthz  liveness
 //	GET  /statz    cache / coalescing / pool counters
+//
+// With -cachedir, -cachemaxbytes/-cachemaxentries bound the disk tier:
+// writes that cross a budget evict least-recently-used result files (zero =
+// unbounded). /statz reports eviction counters.
 //
 // The -warmup/-measure/-drain/-seed flags and the workload flag set
 // (-process/-pattern/-burstlen/-duty/-hotspots/-hotfrac) set server-side
@@ -43,6 +49,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/curve"
 	"repro/internal/dse"
 	"repro/internal/experiments"
 	"repro/internal/sweep"
@@ -54,6 +61,8 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 4096, "result store entry bound (0 = unbounded)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result store byte bound (0 = unbounded)")
 	cacheDir := flag.String("cachedir", "", "disk cache directory (empty = memory-only); results persist across restarts in a schema-versioned subdirectory")
+	cacheMaxBytes := flag.Int64("cachemaxbytes", 0, "disk cache byte budget (0 = unbounded); LRU result files are evicted when a write crosses it")
+	cacheMaxEntries := flag.Int64("cachemaxentries", 0, "disk cache entry budget (0 = unbounded); LRU result files are evicted when a write crosses it")
 	selfcheck := flag.Bool("selfcheck", false, "run an in-process smoke test (cold miss, then byte-equal cache hit; with -cachedir, also a restart warm hit) and exit")
 	scaleOf := experiments.ScaleFlags(flag.CommandLine,
 		experiments.SimScale{Workers: runtime.GOMAXPROCS(0), Leap: true})
@@ -78,6 +87,9 @@ func main() {
 		MaxEntries: *cacheEntries,
 		MaxBytes:   *cacheBytes,
 		CacheDir:   *cacheDir,
+
+		DiskMaxBytes:   *cacheMaxBytes,
+		DiskMaxEntries: *cacheMaxEntries,
 	}
 	srv, err := sweep.NewServer(opts)
 	if err != nil {
@@ -103,12 +115,16 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, handler(srv)))
 }
 
-// handler mounts the sweep endpoints plus the design-space-search job API
-// (POST/GET/DELETE /pareto) on one mux.
+// handler mounts the sweep endpoints plus the design-space-search and
+// adaptive-curve job APIs (POST/GET/DELETE /pareto, /curve) on one mux.
+// Both job services resolve every point through the same server, so a curve
+// trace, a frontier search and a live /sweep client never run the same
+// simulation twice.
 func handler(srv *sweep.Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.Handle("/pareto", dse.NewService(srv).Handler())
+	mux.Handle("/curve", curve.NewService(srv).Handler())
 	return mux
 }
 
@@ -198,8 +214,26 @@ func runSelfcheck(srv *sweep.Server, opts sweep.Options) error {
 	if opts.CacheDir == "" {
 		return nil
 	}
-	// Restart persistence: a fresh process on the same cache directory must
-	// be warm — every unit a disk-backed hit, zero simulations.
+	bounded := opts.DiskMaxBytes > 0 || opts.DiskMaxEntries > 0
+	if bounded {
+		// Eviction smoke: the caps are sized so four results cannot all fit,
+		// so the cold pass must have evicted — and the evicted files must be
+		// gone from the directory, not merely uncounted.
+		st := srv.Disk().Stats()
+		if st.Evictions == 0 || st.EvictScans == 0 {
+			return fmt.Errorf("bounded disk tier (max %dB/%d entries) never evicted: %+v",
+				opts.DiskMaxBytes, opts.DiskMaxEntries, st)
+		}
+		if opts.DiskMaxBytes > 0 && st.Bytes > opts.DiskMaxBytes {
+			return fmt.Errorf("disk tier over byte budget after eviction: %+v", st)
+		}
+		fmt.Printf("eviction: %d files evicted (%dB) in %d scans, %d files remain\n",
+			st.Evictions, st.EvictedBytes, st.EvictScans, st.Files)
+	}
+	// Restart persistence: a fresh process on the same cache directory. With
+	// an unbounded tier every unit is a disk-backed hit with zero
+	// simulations; with eviction caps the surviving units hit and the
+	// evicted ones heal by re-simulating — byte-equal either way.
 	srv2, err := sweep.NewServer(opts)
 	if err != nil {
 		return err
@@ -213,21 +247,31 @@ func runSelfcheck(srv *sweep.Server, opts sweep.Options) error {
 		return err
 	}
 	restartElapsed := time.Since(start)
-	if restartSum.Hits != restartSum.Units {
-		return fmt.Errorf("restart pass: %+v, want all hits from disk", restartSum)
-	}
-	if got := srv2.SimRuns(); got != 0 {
-		return fmt.Errorf("restarted server ran %d simulations, want 0 (disk cache cold?)", got)
+	if bounded {
+		if restartSum.Hits+restartSum.Misses != restartSum.Units || restartSum.Misses == 0 {
+			return fmt.Errorf("restart-after-eviction pass: %+v, want evicted units back as misses", restartSum)
+		}
+		if got := srv2.SimRuns(); got != int64(restartSum.Misses) {
+			return fmt.Errorf("restarted server ran %d simulations for %d misses", got, restartSum.Misses)
+		}
+	} else {
+		if restartSum.Hits != restartSum.Units {
+			return fmt.Errorf("restart pass: %+v, want all hits from disk", restartSum)
+		}
+		if got := srv2.SimRuns(); got != 0 {
+			return fmt.Errorf("restarted server ran %d simulations, want 0 (disk cache cold?)", got)
+		}
+		if hits := srv2.Disk().Stats().Hits; hits != int64(restartSum.Units) {
+			return fmt.Errorf("restart pass: %d disk hits, want %d", hits, restartSum.Units)
+		}
 	}
 	for i, b := range cold {
 		if !bytes.Equal(b, restart[i]) {
 			return fmt.Errorf("unit %d: disk-restored bytes differ from the original miss", i)
 		}
 	}
-	if hits := srv2.Disk().Stats().Hits; hits != int64(restartSum.Units) {
-		return fmt.Errorf("restart pass: %d disk hits, want %d", hits, restartSum.Units)
-	}
-	fmt.Printf("restart warm %v, 4 units, 0 sims, 4 disk hits (dir %s)\n",
-		restartElapsed.Round(time.Microsecond), srv2.Disk().Dir())
+	fmt.Printf("restart %v, %d units, %d sims, %d hits (dir %s)\n",
+		restartElapsed.Round(time.Microsecond), restartSum.Units,
+		srv2.SimRuns(), restartSum.Hits, srv2.Disk().Dir())
 	return nil
 }

@@ -1,0 +1,191 @@
+package curve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sharecache"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// tinySpec is the golden-test trace spec: short phases, a 0.05 lattice, and
+// the paper-grid top for the topology.
+func tinySpec(topo, process string) Spec {
+	maxRate := 0.45
+	if topo == "fbfly" {
+		maxRate = 0.50
+	}
+	return Spec{
+		Base: sweep.UnitConfig{
+			Topo: topo, Process: process, Seed: 42,
+			Warmup: 150, Measure: 300, Drain: 1500,
+		},
+		Step: 0.05, MinRate: 0.05, MaxRate: maxRate, Coarse: 4,
+	}
+}
+
+// TestTracerPointsByteEqualBatch pins the tracer's core contract: every
+// sampled point is an ordinary simulation unit at a canonical lattice rate,
+// byte-equal to what the batch CLI path (sweep.RunUnit via
+// experiments.BuildSim) computes for the same unit — on both topologies,
+// serial and sharded stepping, bernoulli and bursty arrivals.
+func TestTracerPointsByteEqualBatch(t *testing.T) {
+	ctx := context.Background()
+	for _, topo := range []string{"mesh", "fbfly"} {
+		for _, shards := range []int{1, 4} {
+			for _, process := range []string{"bernoulli", "mmp"} {
+				t.Run(fmt.Sprintf("%s/shards=%d/%s", topo, shards, process), func(t *testing.T) {
+					exec := sweep.Exec{Shards: shards, Leap: true}
+					srv, err := sweep.NewServer(sweep.Options{Exec: exec, Workers: 4})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer srv.Close()
+					tr, err := TraceCurve(ctx, srv, tinySpec(topo, process), Options{Workers: 4})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if tr.Simulated == 0 {
+						t.Fatal("trace sampled nothing")
+					}
+					for _, p := range tr.Points {
+						u := tr.Spec.Base
+						u.Rate = tr.Spec.Lattice().Rate(p.Index)
+						batch, err := sweep.RunUnit(ctx, u, exec)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, _ := json.Marshal(p.Result)
+						want, _ := json.Marshal(batch)
+						if string(got) != string(want) {
+							t.Fatalf("point %d (rate %g): tracer result differs from batch:\n%s\n%s",
+								p.Index, u.Rate, got, want)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAdaptiveKneeMatchesFixedGrid pins the acceptance criterion on real
+// simulations: on both topologies the adaptive trace simulates at most half
+// the fixed-grid points while locating the knee within one lattice step of
+// the fixed grid's answer.
+func TestAdaptiveKneeMatchesFixedGrid(t *testing.T) {
+	ctx := context.Background()
+	for _, topo := range []string{"mesh", "fbfly"} {
+		t.Run(topo, func(t *testing.T) {
+			srv, err := sweep.NewServer(sweep.Options{Exec: sweep.Exec{Leap: true}, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			spec := tinySpec(topo, "bernoulli")
+			spec.Step, spec.MinRate, spec.Coarse = 0.02, 0.02, 5
+			tr, err := TraceCurve(ctx, srv, spec, Options{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tr.KneeFound {
+				t.Fatalf("no knee found below %g", tr.Spec.MaxRate)
+			}
+			// Fixed-grid reference: every lattice index in range (the points
+			// the trace already sampled come back as cache hits).
+			lat := tr.Spec.Lattice()
+			iMin, iMax := lat.Index(tr.Spec.MinRate), lat.Index(tr.Spec.MaxRate)
+			fixedKnee := iMax
+			for i := iMin; i <= iMax; i++ {
+				u := tr.Spec.Base
+				u.Rate = lat.Rate(i)
+				res, err := srv.EvalUnit(ctx, u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tr.Spec.saturatedAt(res) {
+					fixedKnee = i - 1
+					break
+				}
+			}
+			if d := tr.KneeIndex - fixedKnee; d < -tr.Spec.KneeResolution || d > tr.Spec.KneeResolution {
+				t.Fatalf("adaptive knee index %d vs fixed-grid %d: outside one lattice step", tr.KneeIndex, fixedKnee)
+			}
+			if 2*tr.Simulated > tr.FixedGridPoints {
+				t.Fatalf("adaptive trace simulated %d of %d fixed-grid points (> 50%%)",
+					tr.Simulated, tr.FixedGridPoints)
+			}
+			t.Logf("%s: adaptive %d points vs fixed %d, knee %g", topo, tr.Simulated, tr.FixedGridPoints, tr.KneeRate)
+		})
+	}
+}
+
+// TestShareCacheTraceEquivalence is the mutation-detection audit: a trace
+// with the share cache enabled (topology, routing and class masks shared by
+// concurrent sims) must be byte-equal to the same trace with sharing
+// disabled (every sim builds its own state — the pre-sharing path), and the
+// shared topology must checksum identically before and after concurrent
+// Validate-mode runs.
+func TestShareCacheTraceEquivalence(t *testing.T) {
+	ctx := context.Background()
+	spec := tinySpec("mesh", "mmp")
+	run := func() []byte {
+		srv, err := sweep.NewServer(sweep.Options{Exec: sweep.Exec{Shards: 4, Leap: true}, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		tr, err := TraceCurve(ctx, srv, spec, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := json.Marshal(tr.Points)
+		return b
+	}
+	if !sharecache.Default.Enabled() {
+		t.Fatal("share cache not enabled by default")
+	}
+	shared := run()
+	sharecache.Default.SetEnabled(false)
+	cold := run()
+	sharecache.Default.SetEnabled(true)
+	if string(shared) != string(cold) {
+		t.Fatalf("sharing changed results:\nshared: %s\ncold:   %s", shared, cold)
+	}
+}
+
+// TestSharedTopologyUnmutated proves the share-cache immutability contract
+// directly: BuildSim hands every caller the same topology instance, and its
+// serialized form is unchanged after concurrent Validate-mode simulations
+// ran on it.
+func TestSharedTopologyUnmutated(t *testing.T) {
+	pt, err := experiments.PointByName("mesh", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := experiments.SimScale{Warmup: 150, Measure: 300, Drain: 1500, Seed: 42, Leap: true}
+	cfg1 := experiments.BuildSim(pt, 0.2, scale)
+	cfg2 := experiments.BuildSim(pt, 0.3, scale)
+	if cfg1.Topology != cfg2.Topology {
+		t.Fatal("share cache enabled but BuildSim returned distinct topology instances")
+	}
+	before, _ := json.Marshal(cfg1.Topology)
+	done := make(chan sim.Result, 2)
+	for _, cfg := range []sim.Config{cfg1, cfg2} {
+		cfg := cfg
+		cfg.Validate = true
+		go func() { done <- sim.New(cfg).Run() }()
+	}
+	for i := 0; i < 2; i++ {
+		if res := <-done; res.FlitsDelivered == 0 {
+			t.Fatal("no traffic moved")
+		}
+	}
+	after, _ := json.Marshal(cfg1.Topology)
+	if string(before) != string(after) {
+		t.Fatal("concurrent simulations mutated the shared topology")
+	}
+}

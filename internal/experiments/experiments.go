@@ -7,7 +7,9 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/alloc"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/quality"
 	"repro/internal/routing"
+	"repro/internal/sharecache"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -378,19 +381,41 @@ func BuildSim(pt Point, rate float64, scale SimScale) sim.Config {
 		DenseRequests: scale.DenseRequests,
 		Leap:          scale.Leap,
 	}
-	switch pt.Topo {
-	case "mesh":
-		topo := topology.Mesh(8)
-		cfg.Topology = topo
-		cfg.Routing = routing.NewDOR(topo)
-	case "fbfly":
-		topo := topology.FlattenedButterfly(4, 4)
-		cfg.Topology = topo
-		cfg.Routing = routing.NewUGAL(topo, 1)
-	default:
-		panic("experiments: unknown topology " + pt.Topo)
-	}
+	cfg.Topology, cfg.Routing = sharedNet(pt.Topo)
 	return cfg
+}
+
+// builtNet pairs a topology with its routing function; both are immutable
+// after construction (the topology is never written post-build and the
+// routing functions hold no mutable fields — all per-packet state lives in
+// routing.PacketRoute), so one instance is safely shared by every
+// concurrently running simulation of the design point.
+type builtNet struct {
+	topo *topology.Topology
+	rt   routing.Function
+}
+
+// sharedNet returns the (topology, routing) pair for a topology name
+// through the share cache: built once per process while sharing is enabled,
+// built fresh per call (the pre-sharing cold path) when it is disabled.
+func sharedNet(topo string) (*topology.Topology, routing.Function) {
+	var build func() builtNet
+	switch topo {
+	case "mesh":
+		build = func() builtNet {
+			t := topology.Mesh(8)
+			return builtNet{t, routing.NewDOR(t)}
+		}
+	case "fbfly":
+		build = func() builtNet {
+			t := topology.FlattenedButterfly(4, 4)
+			return builtNet{t, routing.NewUGAL(t, 1)}
+		}
+	default:
+		panic("experiments: unknown topology " + topo)
+	}
+	n := sharecache.Get(sharecache.Default, "net/"+topo, build)
+	return n.topo, n.rt
 }
 
 func runCurve(ctx context.Context, name string, rates []float64, mk func(rate float64) sim.Config) NetSeries {
@@ -507,20 +532,57 @@ func VASweep(pt Point, rates []float64, scale SimScale) []NetSeries {
 	return out
 }
 
-// FormatNetSeries renders latency curves as a tab-separated table.
+// FormatNetSeries renders latency curves as a tab-separated table. Rows are
+// the union of every rate any series sampled, in ascending order, so
+// non-uniform grids — adaptive traces, or series sampled at different rates
+// — align by rate instead of by position; a series without a sample at some
+// rate renders "-" cells.
 func FormatNetSeries(series []NetSeries) string {
 	if len(series) == 0 {
 		return ""
+	}
+	var rates []float64
+	seen := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.Rate] {
+				seen[p.Rate] = true
+				rates = append(rates, p.Rate)
+			}
+		}
+	}
+	sort.Float64s(rates)
+	// Rates are keyed by their exact float64 value: every sampled rate comes
+	// from one canonical computation (a shared grid slice or RateLattice.Rate),
+	// so equal offered loads are bit-equal and distinct ones never collide.
+	byRate := make([]map[float64]NetPoint, len(series))
+	for si, s := range series {
+		byRate[si] = make(map[float64]NetPoint, len(s.Points))
+		for _, p := range s.Points {
+			byRate[si][p.Rate] = p
+		}
+	}
+	// Two decimals cover the paper's 0.05 grid; finer lattices widen the
+	// rate column until every sampled rate is distinguishable.
+	prec := 2
+	for _, r := range rates {
+		for prec < 6 && math.Abs(r-math.Round(r*math.Pow(10, float64(prec)))/math.Pow(10, float64(prec))) > 1e-9 {
+			prec++
+		}
 	}
 	out := "rate"
 	for _, s := range series {
 		out += fmt.Sprintf("\t%s(lat)\t%s(thr)", s.Name, s.Name)
 	}
 	out += "\n"
-	for i, p := range series[0].Points {
-		out += fmt.Sprintf("%.2f", p.Rate)
-		for _, s := range series {
-			sp := s.Points[i]
+	for _, r := range rates {
+		out += fmt.Sprintf("%.*f", prec, r)
+		for si := range series {
+			sp, ok := byRate[si][r]
+			if !ok {
+				out += "\t-\t-"
+				continue
+			}
 			sat := ""
 			if sp.Saturated {
 				sat = "*"

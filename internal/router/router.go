@@ -83,6 +83,14 @@ type Config struct {
 	BufDepth int
 	// Routing supplies lookahead route decisions.
 	Routing routing.Function
+	// ClassMasks, when non-nil, supplies the per-(message class, resource
+	// class) output-VC candidate masks in ClassIndex order, replacing the
+	// per-router Spec.ClassMask build. The router only ever reads them
+	// (computeVAReq consumes a mask via AndNotInto), so one slice may be
+	// shared by every router of every concurrently running simulation with
+	// the same Spec; callers must never mutate the vectors after handoff.
+	// nil keeps the per-router build.
+	ClassMasks []*bitvec.Vec
 	// VA configures the VC allocator (Ports and Spec are overridden).
 	VA core.VCAllocConfig
 	// SA configures the switch allocator (Ports and VCs are overridden);
@@ -255,9 +263,13 @@ func New(cfg Config) *Router {
 		r.outAlloc[p] = bitvec.New(v)
 		r.waiters[p] = bitvec.New(n)
 	}
-	for m := 0; m < cfg.Spec.MessageClasses; m++ {
-		for rc := 0; rc < cfg.Spec.ResourceClasses; rc++ {
-			r.classMasks = append(r.classMasks, cfg.Spec.ClassMask(m, rc))
+	if cfg.ClassMasks != nil {
+		r.classMasks = cfg.ClassMasks
+	} else {
+		for m := 0; m < cfg.Spec.MessageClasses; m++ {
+			for rc := 0; rc < cfg.Spec.ResourceClasses; rc++ {
+				r.classMasks = append(r.classMasks, cfg.Spec.ClassMask(m, rc))
+			}
 		}
 	}
 	if s, ok := r.va.(idleSkipper); ok {

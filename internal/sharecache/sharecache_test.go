@@ -1,0 +1,85 @@
+package sharecache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBuildOncePerKey(t *testing.T) {
+	c := New()
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	const goroutines = 32
+	vals := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vals[g] = Get(c, "k", func() int {
+				builds.Add(1)
+				return 42
+			})
+		}()
+	}
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("32 concurrent Gets ran %d builds, want 1", got)
+	}
+	for g, v := range vals {
+		if v != 42 {
+			t.Fatalf("goroutine %d got %d, want the shared 42", g, v)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Builds != 1 || st.Hits != goroutines-1 {
+		t.Fatalf("stats %+v, want 1 entry, 1 build, %d hits", st, goroutines-1)
+	}
+}
+
+func TestDistinctKeysDistinctValues(t *testing.T) {
+	c := New()
+	a := Get(c, "a", func() *int { v := 1; return &v })
+	b := Get(c, "b", func() *int { v := 2; return &v })
+	if a == b || *a != 1 || *b != 2 {
+		t.Fatalf("keys collided: a=%v b=%v", *a, *b)
+	}
+	if again := Get(c, "a", func() *int { t.Fatal("rebuilt a cached key"); return nil }); again != a {
+		t.Fatal("second Get returned a different pointer")
+	}
+}
+
+func TestDisabledBuildsFresh(t *testing.T) {
+	c := New()
+	c.SetEnabled(false)
+	var builds int
+	for i := 0; i < 3; i++ {
+		Get(c, "k", func() int { builds++; return builds })
+	}
+	if builds != 3 {
+		t.Fatalf("disabled cache ran %d builds, want 3 (one per Get)", builds)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Builds != 0 {
+		t.Fatalf("disabled cache stored state: %+v", st)
+	}
+	// Re-enabling resumes sharing.
+	c.SetEnabled(true)
+	first := Get(c, "k", func() int { return 7 })
+	second := Get(c, "k", func() int { t.Fatal("rebuilt after re-enable"); return 0 })
+	if first != 7 || second != 7 {
+		t.Fatalf("re-enabled cache returned %d/%d, want 7/7", first, second)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	Get(c, "k", func() int { return 1 })
+	c.Reset()
+	if st := c.Stats(); st.Entries != 0 || st.Builds != 0 || st.Hits != 0 {
+		t.Fatalf("reset left %+v", st)
+	}
+	if v := Get(c, "k", func() int { return 2 }); v != 2 {
+		t.Fatalf("post-reset Get returned %d, want fresh 2", v)
+	}
+}

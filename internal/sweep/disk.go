@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // DiskStore is the persistent tier under the in-memory Store: one file per
@@ -32,29 +34,58 @@ import (
 //     cache directory cannot be returned for a key it does not answer.
 //   - Bad files are left in place (diagnosable), but a later Put of the
 //     same key atomically replaces them.
+//   - Eviction (when the store is bounded) is LRU by file modification
+//     time: a Put that takes the store over its byte or entry budget
+//     rescans the directory and deletes the stalest result files until the
+//     store fits again, never touching the key just written and never
+//     touching non-result files. Get refreshes a hit's mtime (best-effort)
+//     so recently used results survive. Because eviction recounts from the
+//     directory itself, accounting self-heals after crashes, external
+//     deletions, or a second process sharing the directory.
 //
 // All methods are safe for concurrent use.
 type DiskStore struct {
-	dir string // version-scoped directory, e.g. <root>/v2
+	dir        string // version-scoped directory, e.g. <root>/v2
+	maxEntries int64  // 0 = unbounded
+	maxBytes   int64  // 0 = unbounded
 
-	mu          sync.Mutex
-	files       int64
-	bytes       int64
-	hits        int64
-	misses      int64
-	writes      int64
-	loadErrors  int64
-	writeErrors int64
+	// evictMu serializes directory eviction scans; mu stays cheap.
+	evictMu sync.Mutex
+
+	mu           sync.Mutex
+	files        int64
+	bytes        int64
+	hits         int64
+	misses       int64
+	writes       int64
+	loadErrors   int64
+	writeErrors  int64
+	evictions    int64
+	evictedBytes int64
+	evictScans   int64
 }
 
 // diskSuffix is the filename suffix of a stored result; everything else in
 // the directory is ignored by accounting and never read.
 const diskSuffix = ".json"
 
-// OpenDiskStore opens (creating if needed) the disk tier rooted at root,
-// scoped to the current SchemaVersion.
+// OpenDiskStore opens (creating if needed) the unbounded disk tier rooted
+// at root, scoped to the current SchemaVersion.
 func OpenDiskStore(root string) (*DiskStore, error) {
-	return openDiskStoreVersion(root, SchemaVersion)
+	return OpenDiskStoreBounded(root, 0, 0)
+}
+
+// OpenDiskStoreBounded is OpenDiskStore with eviction budgets: the store
+// holds at most maxEntries result files totalling at most maxBytes, evicting
+// least-recently-used results when a Put crosses either bound. Zero means
+// unbounded on that axis.
+func OpenDiskStoreBounded(root string, maxEntries, maxBytes int64) (*DiskStore, error) {
+	d, err := openDiskStoreVersion(root, SchemaVersion)
+	if err != nil {
+		return nil, err
+	}
+	d.maxEntries, d.maxBytes = maxEntries, maxBytes
+	return d, nil
 }
 
 // openDiskStoreVersion is OpenDiskStore with an explicit schema version;
@@ -115,6 +146,11 @@ func (d *DiskStore) Get(key string) ([]byte, bool) {
 	d.mu.Lock()
 	d.hits++
 	d.mu.Unlock()
+	// Refresh the file's mtime so LRU eviction sees this result as recently
+	// used. Best-effort: a failure (read-only directory, concurrent delete)
+	// only ages the entry, it never affects the returned hit.
+	now := time.Now()
+	os.Chtimes(d.path(key), now, now)
 	return data, true
 }
 
@@ -172,6 +208,80 @@ func (d *DiskStore) Put(key string, val []byte) {
 		d.files++
 	}
 	d.bytes += int64(len(val))
+	over := (d.maxEntries > 0 && d.files > d.maxEntries) ||
+		(d.maxBytes > 0 && d.bytes > d.maxBytes)
+	d.mu.Unlock()
+	if over {
+		d.evict(key)
+	}
+}
+
+// evict deletes least-recently-used result files until the store fits its
+// budgets again, never deleting keep (the key whose Put triggered the
+// eviction). It recounts from the directory rather than trusting the running
+// totals, which both orders files by true mtime and heals any accounting
+// drift (crashes, external deletes, a second process sharing the directory).
+func (d *DiskStore) evict(keep string) {
+	d.evictMu.Lock()
+	defer d.evictMu.Unlock()
+
+	type resultFile struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	var files []resultFile
+	var totalBytes int64
+	for _, e := range entries {
+		// Non-result files (temp files mid-rename, stray droppings) are not
+		// the store's to delete; they are invisible to budgets too.
+		if e.IsDir() || !strings.HasSuffix(e.Name(), diskSuffix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // deleted between ReadDir and Info
+		}
+		files = append(files, resultFile{e.Name(), info.Size(), info.ModTime()})
+		totalBytes += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mtime.Equal(files[j].mtime) {
+			return files[i].mtime.Before(files[j].mtime)
+		}
+		return files[i].name < files[j].name
+	})
+
+	totalFiles := int64(len(files))
+	var evicted, evictedBytes int64
+	keepName := keep + diskSuffix
+	for _, f := range files {
+		fits := (d.maxEntries <= 0 || totalFiles <= d.maxEntries) &&
+			(d.maxBytes <= 0 || totalBytes <= d.maxBytes)
+		if fits {
+			break
+		}
+		if f.name == keepName {
+			continue
+		}
+		if err := os.Remove(filepath.Join(d.dir, f.name)); err != nil {
+			continue // already gone or undeletable; recount covers it
+		}
+		totalFiles--
+		totalBytes -= f.size
+		evicted++
+		evictedBytes += f.size
+	}
+
+	d.mu.Lock()
+	d.files, d.bytes = totalFiles, totalBytes
+	d.evictScans++
+	d.evictions += evicted
+	d.evictedBytes += evictedBytes
 	d.mu.Unlock()
 }
 
@@ -180,21 +290,29 @@ func (d *DiskStore) Stats() DiskStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return DiskStats{
-		Dir:   d.dir,
+		Dir:        d.dir,
+		MaxEntries: d.maxEntries, MaxBytes: d.maxBytes,
 		Files: d.files, Bytes: d.bytes,
 		Hits: d.hits, Misses: d.misses, Writes: d.writes,
 		LoadErrors: d.loadErrors, WriteErrors: d.writeErrors,
+		Evictions: d.evictions, EvictedBytes: d.evictedBytes,
+		EvictScans: d.evictScans,
 	}
 }
 
 // DiskStats is a point-in-time snapshot of DiskStore accounting.
 type DiskStats struct {
-	Dir         string `json:"dir"`
-	Files       int64  `json:"files"`
-	Bytes       int64  `json:"bytes"`
-	Hits        int64  `json:"hits"`
-	Misses      int64  `json:"misses"`
-	Writes      int64  `json:"writes"`
-	LoadErrors  int64  `json:"load_errors"`
-	WriteErrors int64  `json:"write_errors"`
+	Dir          string `json:"dir"`
+	MaxEntries   int64  `json:"max_entries,omitempty"`
+	MaxBytes     int64  `json:"max_bytes,omitempty"`
+	Files        int64  `json:"files"`
+	Bytes        int64  `json:"bytes"`
+	Hits         int64  `json:"hits"`
+	Misses       int64  `json:"misses"`
+	Writes       int64  `json:"writes"`
+	LoadErrors   int64  `json:"load_errors"`
+	WriteErrors  int64  `json:"write_errors"`
+	Evictions    int64  `json:"evictions"`
+	EvictedBytes int64  `json:"evicted_bytes"`
+	EvictScans   int64  `json:"evict_scans"`
 }

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // diskVal marshals a minimal valid stored result for key.
@@ -354,5 +355,156 @@ func TestDiskStoreIgnoresStrayFiles(t *testing.T) {
 	}
 	if st := d2.Stats(); st.Files != 0 || st.Bytes != 0 {
 		t.Fatalf("stray file counted: %+v", st)
+	}
+}
+
+// agedPut writes key and backdates its mtime so LRU eviction order is
+// deterministic regardless of filesystem timestamp resolution.
+func agedPut(t *testing.T, d *DiskStore, key string, age time.Duration) {
+	t.Helper()
+	d.Put(key, diskVal(t, key))
+	old := time.Now().Add(-age)
+	if err := os.Chtimes(filepath.Join(d.Dir(), key+diskSuffix), old, old); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskStoreEvictsOldestFirst pins the eviction policy: crossing the
+// entry budget deletes result files in mtime order, oldest first, and the
+// counters account for what was removed.
+func TestDiskStoreEvictsOldestFirst(t *testing.T) {
+	d, err := OpenDiskStoreBounded(t.TempDir(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agedPut(t, d, "old", 3*time.Hour)
+	agedPut(t, d, "mid", 2*time.Hour)
+	d.Put("new", diskVal(t, "new")) // third entry: budget is 2, "old" must go
+
+	if _, ok := d.Get("old"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	for _, k := range []string{"mid", "new"} {
+		if _, ok := d.Get(k); !ok {
+			t.Fatalf("entry %q evicted out of LRU order", k)
+		}
+	}
+	st := d.Stats()
+	if st.Files != 2 || st.Evictions != 1 || st.EvictScans != 1 || st.EvictedBytes == 0 {
+		t.Fatalf("eviction accounting: %+v", st)
+	}
+}
+
+// TestDiskStoreEvictsByBytes drives the byte budget: the store keeps only as
+// many recent results as fit.
+func TestDiskStoreEvictsByBytes(t *testing.T) {
+	one := int64(len(diskVal(t, "aa")))
+	d, err := OpenDiskStoreBounded(t.TempDir(), 0, 2*one+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agedPut(t, d, "aa", 3*time.Hour)
+	agedPut(t, d, "bb", 2*time.Hour)
+	d.Put("cc", diskVal(t, "cc"))
+	if _, ok := d.Get("aa"); ok {
+		t.Fatal("byte budget did not evict the oldest entry")
+	}
+	if st := d.Stats(); st.Bytes > 2*one+1 || st.Evictions != 1 {
+		t.Fatalf("byte accounting after eviction: %+v", st)
+	}
+}
+
+// TestDiskStoreGetProtectsFromEviction pins the "recently used" half of LRU:
+// a Get refreshes the entry's mtime, so a later eviction takes the
+// untouched entry instead.
+func TestDiskStoreGetProtectsFromEviction(t *testing.T) {
+	d, err := OpenDiskStoreBounded(t.TempDir(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agedPut(t, d, "used", 3*time.Hour)
+	agedPut(t, d, "idle", 2*time.Hour)
+	if _, ok := d.Get("used"); !ok { // refreshes mtime: now newer than "idle"
+		t.Fatal("warm entry missed")
+	}
+	d.Put("new", diskVal(t, "new"))
+	if _, ok := d.Get("idle"); ok {
+		t.Fatal("LRU evicted the idle entry's junior")
+	}
+	if _, ok := d.Get("used"); !ok {
+		t.Fatal("recently read entry was evicted")
+	}
+}
+
+// TestDiskStoreEvictionNeverDeletesKeepOrStrays pins two safety properties:
+// the key whose Put triggered eviction survives even when it is the oldest
+// candidate, and non-result files in the directory are never deleted (the
+// eviction scan is as corruption-tolerant as the load path).
+func TestDiskStoreEvictionNeverDeletesKeepOrStrays(t *testing.T) {
+	root := t.TempDir()
+	d, err := OpenDiskStoreBounded(root, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(d.Dir(), "notes.txt")
+	if err := os.WriteFile(stray, []byte("not a result"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	agedPut(t, d, "first", 3*time.Hour)
+	// Backdate the new write below the survivor's mtime: "keep" protection,
+	// not age, is what must save it.
+	agedPut(t, d, "second", 5*time.Hour)
+	if _, ok := d.Get("second"); !ok {
+		t.Fatal("just-written key evicted by its own Put")
+	}
+	if _, ok := d.Get("first"); ok {
+		t.Fatal("store over budget: older sibling should have been evicted")
+	}
+	if _, err := os.Stat(stray); err != nil {
+		t.Fatalf("eviction touched a non-result file: %v", err)
+	}
+	if st := d.Stats(); st.Files != 1 {
+		t.Fatalf("accounting after keep-protected eviction: %+v", st)
+	}
+}
+
+// TestServerRestartAfterEvictionHeals drives eviction through the full
+// server stack: a bounded disk tier evicts under load, and a restarted
+// server re-simulates the evicted units — byte-equal to the originals —
+// while serving the surviving ones from disk.
+func TestServerRestartAfterEvictionHeals(t *testing.T) {
+	root := t.TempDir()
+	opts := Options{
+		Defaults:       goldenScale(1),
+		Exec:           Exec{Leap: true},
+		Workers:        2,
+		CacheDir:       root,
+		DiskMaxEntries: 2,
+	}
+	req := Request{
+		Base:  UnitConfig{Topo: "mesh", Seed: 42},
+		Rates: []float64{0.05, 0.1, 0.15, 0.2},
+	}
+
+	s1, ts1 := newTestServer(t, opts)
+	cold := postSweep(t, ts1.Client(), ts1.URL, req)
+	if cold.Summary.Misses != 4 {
+		t.Fatalf("cold pass: %+v", cold.Summary)
+	}
+	st := s1.Disk().Stats()
+	if st.Evictions == 0 || st.Files > 2 {
+		t.Fatalf("bounded disk tier did not evict: %+v", st)
+	}
+
+	s2, ts2 := newTestServer(t, opts)
+	warm := postSweep(t, ts2.Client(), ts2.URL, req)
+	if warm.Summary.Hits+warm.Summary.Misses != 4 || warm.Summary.Misses == 0 ||
+		int64(warm.Summary.Misses) != s2.SimRuns() {
+		t.Fatalf("restart pass: %+v, sims=%d", warm.Summary, s2.SimRuns())
+	}
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(cold.byIndex(i).Result, warm.byIndex(i).Result) {
+			t.Fatalf("unit %d: healed result differs from the original", i)
+		}
 	}
 }

@@ -147,6 +147,12 @@ type Options struct {
 	// second process sharing the directory) starts warm. Empty keeps the
 	// original memory-only behavior.
 	CacheDir string
+	// DiskMaxEntries / DiskMaxBytes bound the disk tier: a write that
+	// crosses either budget evicts least-recently-used result files until
+	// the store fits again (sweepd's -cachemaxentries/-cachemaxbytes).
+	// Zero leaves that axis unbounded — the disk tier's historical behavior.
+	DiskMaxEntries int64
+	DiskMaxBytes   int64
 }
 
 // Server implements the sweep service: POST /sweep streams per-unit NDJSON
@@ -185,7 +191,7 @@ func NewServer(opts Options) (*Server, error) {
 	var disk *DiskStore
 	if opts.CacheDir != "" {
 		var err error
-		if disk, err = OpenDiskStore(opts.CacheDir); err != nil {
+		if disk, err = OpenDiskStoreBounded(opts.CacheDir, opts.DiskMaxEntries, opts.DiskMaxBytes); err != nil {
 			return nil, err
 		}
 	}
